@@ -1,0 +1,83 @@
+// Command mwopt is the Chapter-4 optimization program: it consumes an
+// $OPTROOT directory tree (input file, systems/<name>/run.sh phases,
+// properties/prop*.{sh,val,w}), sizes the processor request (one per run.sh
+// found), and runs the stochastic simplex over the user's simulation
+// scripts.
+//
+//	mwopt -alg det -iters 50 /path/to/optroot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/mw"
+	"repro/internal/optroot"
+)
+
+func main() {
+	var (
+		algName = flag.String("alg", "det", "algorithm: det, mn, pc, pc+mn, anderson")
+		iters   = flag.Int("iters", 50, "maximum simplex iterations")
+		tol     = flag.Float64("tol", 1e-6, "spread termination tolerance")
+		samples = flag.Float64("resample", 1, "sampling batches per wait round")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mwopt [flags] <OPTROOT>")
+		os.Exit(2)
+	}
+
+	root, err := optroot.Load(flag.Arg(0))
+	fatal(err)
+	fmt.Printf("OPTROOT %s\n", root.Dir)
+	fmt.Printf("parameters: %v (d=%d)\n", root.ParamNames, root.Dim())
+	fmt.Printf("systems: %d, properties: %d\n", len(root.Systems), len(root.Properties))
+	fmt.Printf("processor request: %d (one per run.sh)\n", root.Processors())
+
+	// Show the section-4.2 machinefile allocation for the equivalent MW
+	// deployment (Ns = number of systems).
+	d := root.Dim()
+	ns := len(root.Systems)
+	need := mw.ExpectedProcesses(d, ns)
+	machines := mw.GenerateMachinefile(need/8+1, 8)
+	if alloc, err := machines.Allocate(d, ns); err == nil {
+		fmt.Printf("MW deployment: %d processes (1 master, %d workers, %d servers, %d clients) over %d nodes\n",
+			alloc.Total(), d+3, d+3, (d+3)*ns, len(alloc.NodeUsage()))
+	}
+
+	alg, err := repro.ParseAlgorithm(*algName)
+	fatal(err)
+	cfg := repro.DefaultConfig(alg)
+	cfg.MaxIterations = *iters
+	cfg.Tol = *tol
+	cfg.Resample = *samples
+	cfg.MaxWalltime = 0
+	cfg.Trace = func(e repro.TraceEvent) {
+		fmt.Printf("iter %4d  g(best)=%.6g  move=%s\n", e.Iter, e.Best, e.Move)
+	}
+
+	space := optroot.NewSpace(root)
+	res, err := repro.Optimize(space, root.InitialSimplex, cfg)
+	fatal(err)
+	if serr := space.Err(); serr != nil {
+		fmt.Fprintf(os.Stderr, "warning: some evaluations failed: %v\n", serr)
+	}
+
+	fmt.Printf("\nterminated (%s) after %d iterations, %d evaluations\n",
+		res.Termination, res.Iterations, res.Evaluations)
+	fmt.Printf("best cost: %.6g\n", res.BestG)
+	fmt.Println("best parameters:")
+	for i, name := range root.ParamNames {
+		fmt.Printf("  %-12s %.6g\n", name, res.BestX[i])
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+// Command stochsimplex runs one stochastic simplex optimization on a
+// catalog test function and reports the paper's N/R/D performance measures.
+//
+// Example:
+//
+//	stochsimplex -func rosenbrock -dim 4 -alg pc -sigma 1000 -budget 1e5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/testfunc"
+)
+
+func main() {
+	var (
+		funcName = flag.String("func", "rosenbrock", "objective: rosenbrock, powell, sphere, quartic, beale")
+		algName  = flag.String("alg", "pc", "algorithm: det, mn, pc, pc+mn, anderson")
+		dim      = flag.Int("dim", 3, "parameter-space dimension")
+		sigma    = flag.Float64("sigma", 100, "eq-1.2 noise strength sigma0")
+		seed     = flag.Int64("seed", 1, "random seed (noise and initial simplex)")
+		budget   = flag.Float64("budget", 1e5, "virtual walltime budget (seconds)")
+		tol      = flag.Float64("tol", 0, "spread termination tolerance (0 = run to budget)")
+		k        = flag.Float64("k", 1, "PC confidence multiplier / MN wait factor")
+		lo       = flag.Float64("lo", -5, "initial simplex coordinate lower bound")
+		hi       = flag.Float64("hi", 5, "initial simplex coordinate upper bound")
+		trace    = flag.Bool("trace", false, "print the per-iteration trace")
+	)
+	flag.Parse()
+
+	f, err := testfunc.ByName(*funcName)
+	fatal(err)
+	if f.Dim != 0 && f.Dim != *dim {
+		fatal(fmt.Errorf("%s requires dimension %d", f.Name, f.Dim))
+	}
+	alg, err := repro.ParseAlgorithm(*algName)
+	fatal(err)
+
+	space := repro.NewLocalSpace(repro.LocalConfig{
+		Dim:      *dim,
+		F:        f.F,
+		Sigma0:   repro.ConstSigma(*sigma),
+		Seed:     *seed,
+		Parallel: true,
+	})
+	cfg := repro.DefaultConfig(alg)
+	cfg.MaxWalltime = *budget
+	cfg.Tol = *tol
+	cfg.K = *k
+	cfg.MNK = *k
+	if *trace {
+		cfg.Trace = func(e repro.TraceEvent) {
+			fmt.Printf("iter %5d  t=%10.1f  g=%12.5g  f=%12.5g  move=%s\n",
+				e.Iter, e.Time, e.Best, e.BestUnderlying, e.Move)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	initial := make([][]float64, *dim+1)
+	for i := range initial {
+		initial[i] = make([]float64, *dim)
+		for j := range initial[i] {
+			initial[i][j] = *lo + (*hi-*lo)*rng.Float64()
+		}
+	}
+
+	res, err := repro.Optimize(space, initial, cfg)
+	fatal(err)
+
+	xmin := f.Minimizer(*dim)
+	fmt.Printf("algorithm    %s on %s (d=%d, sigma0=%g)\n", alg, f.Name, *dim, *sigma)
+	fmt.Printf("termination  %s after %d iterations, %.0f virtual s, %d evaluations\n",
+		res.Termination, res.Iterations, res.Walltime, res.Evaluations)
+	fmt.Printf("best x       %.6g\n", res.BestX)
+	fmt.Printf("g(best)      %.6g +- %.3g (noisy estimate)\n", res.BestG, res.BestSigma)
+	fmt.Printf("R            %.6g (noise-free error vs true minimum)\n", f.F(res.BestX)-f.FMin)
+	fmt.Printf("D            %.6g (distance to true minimizer)\n", testfunc.Dist(res.BestX, xmin))
+	fmt.Printf("moves        %d reflect, %d expand, %d contract, %d collapse\n",
+		res.Moves.Reflections, res.Moves.Expansions, res.Moves.Contractions, res.Moves.Collapses)
+	if res.WaitRounds+res.ResampleRounds > 0 {
+		fmt.Printf("sampling     %d wait rounds, %d resample rounds, %d forced decisions\n",
+			res.WaitRounds, res.ResampleRounds, res.ForcedDecisions)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

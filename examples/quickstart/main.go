@@ -1,0 +1,63 @@
+// Quickstart: optimize a noisy Rosenbrock function with the point-to-point
+// comparison (PC) algorithm.
+//
+// The objective is observed through sampling noise whose variance decays as
+// sigma0^2/t with accumulated sampling time t (the paper's eq 1.2). The PC
+// algorithm only accepts a simplex move once the comparison between the two
+// vertices involved is resolved at a k-sigma confidence separation,
+// resampling them until it is.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/testfunc"
+)
+
+func main() {
+	const (
+		dim    = 4
+		sigma0 = 10 // substantial observation noise
+	)
+
+	space := repro.NewLocalSpace(repro.LocalConfig{
+		Dim:      dim,
+		F:        testfunc.Rosenbrock,
+		Sigma0:   repro.ConstSigma(sigma0),
+		Seed:     42,
+		Parallel: true, // all simplex vertices sample concurrently
+	})
+
+	cfg := repro.DefaultConfig(repro.PC)
+	cfg.MaxWalltime = 2e5 // virtual seconds of sampling budget
+	cfg.Tol = 0           // run the budget out
+	// Cap the sampling patience per decision so the budget buys many simplex
+	// steps instead of a few extremely confident ones.
+	cfg.DecisionBudget = cfg.MaxWalltime / 100
+
+	// The initial simplex is the one input the paper leaves to the user.
+	initial := [][]float64{
+		{-3, -3, -3, -3},
+		{4, -2, 1, -1},
+		{-1, 3, -2, 2},
+		{2, 2, 4, -3},
+		{0, -4, 2, 3},
+	}
+
+	res, err := repro.Optimize(space, initial, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("terminated: %s after %d simplex steps\n", res.Termination, res.Iterations)
+	fmt.Printf("best point: %.4f\n", res.BestX)
+	fmt.Printf("noisy estimate g(best) = %.4g +- %.2g\n", res.BestG, res.BestSigma)
+	fmt.Printf("true value  f(best) = %.4g (minimum is 0 at (1,1,1,1))\n",
+		testfunc.Rosenbrock(res.BestX))
+	fmt.Printf("sampling effort: %d evaluations, %d resample rounds\n",
+		res.Evaluations, res.ResampleRounds)
+}

@@ -1,0 +1,318 @@
+// Package anderson implements the direct-search optimization method of
+// Anderson and Ferris ("A direct search algorithm for optimization with noisy
+// function evaluations", SIAM J. Optim 11, 2000), which the paper uses as its
+// external baseline (section 2.2).
+//
+// Unlike Nelder-Mead, the Anderson method operates on a *structure*: a set of
+// m points transformed as a whole (eqs 2.5-2.8 of the paper):
+//
+//	D(S)           = max_{j,k} |x_j - x_k|            (structure size)
+//	REFLECT(S, x)  = { 2x - x_i  | x_i in S }
+//	EXPAND(S, x)   = { 2x_i - x  | x_i in S }
+//	CONTRACT(S, x) = { (x + x_i)/2 | x_i in S }
+//
+// Before every move, each point must satisfy the noise criterion of eq 2.4:
+// sigma_i^2(t_i) < k1 * 2^(-l(1+k2)) where l is the contraction level
+// (contract: l+1, expand: l-1, reflect: unchanged).
+//
+// Note: the dissertation's Tables 3.1-3.2 evaluate only Anderson's
+// convergence *criterion* inside the NM skeleton (core.AndersonNM); this
+// package provides the genuine structure-based search as the extension
+// baseline the paper cites.
+package anderson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Config controls an Anderson direct-search run.
+type Config struct {
+	// K1, K2 parameterize the noise criterion of eq 2.4.
+	K1, K2 float64
+	// InitialSample is the sampling time for every fresh point.
+	InitialSample float64
+	// Resample is the base sampling increment per criterion round.
+	Resample float64
+	// ResampleGrowth multiplies the increment on consecutive rounds (>= 1).
+	ResampleGrowth float64
+	// Tol terminates when the structure size D(S) falls below it.
+	Tol float64
+	// MaxWalltime bounds the virtual wall clock (0 = unlimited).
+	MaxWalltime float64
+	// MaxIterations bounds the structure moves (0 = unlimited).
+	MaxIterations int
+	// MaxWaitRounds caps criterion rounds per move.
+	MaxWaitRounds int
+	// Trace, if non-nil, receives (iteration, time, best estimate) tuples.
+	Trace func(iter int, time, best float64)
+}
+
+// DefaultConfig mirrors the paper's Anderson settings (k2 = 0).
+func DefaultConfig() Config {
+	return Config{
+		K1:             1 << 20,
+		K2:             0,
+		InitialSample:  1,
+		Resample:       1,
+		ResampleGrowth: 2,
+		Tol:            1e-4,
+		MaxWalltime:    1e9,
+		MaxIterations:  100000,
+		MaxWaitRounds:  60,
+	}
+}
+
+// Result summarizes a completed search.
+type Result struct {
+	// BestX is the best structure point at termination.
+	BestX []float64
+	// BestG is its noisy estimate.
+	BestG float64
+	// Iterations is the number of structure moves.
+	Iterations int
+	// Walltime is the elapsed virtual time.
+	Walltime float64
+	// Termination is "size", "walltime", or "iterations".
+	Termination string
+	// ContractionLevel is the final level l.
+	ContractionLevel int
+	// Reflections, Expansions, Contractions count the accepted moves.
+	Reflections, Expansions, Contractions int
+}
+
+// Optimize runs the structure-based direct search starting from the given
+// structure (at least d+1 points of dimension d recommended; any m >= 2
+// points are accepted).
+func Optimize(space sim.Space, initial [][]float64, cfg Config) (*Result, error) {
+	if len(initial) < 2 {
+		return nil, errors.New("anderson: need at least 2 structure points")
+	}
+	d := space.Dim()
+	for i, x := range initial {
+		if len(x) != d {
+			return nil, fmt.Errorf("anderson: point %d has dimension %d, want %d", i, len(x), d)
+		}
+	}
+	if cfg.K1 <= 0 || cfg.InitialSample <= 0 || cfg.Resample <= 0 || cfg.ResampleGrowth < 1 || cfg.MaxWaitRounds <= 0 {
+		return nil, errors.New("anderson: invalid config")
+	}
+
+	s := &search{space: space, cfg: cfg, start: space.Clock().Now()}
+	s.pts = make([]sim.Point, len(initial))
+	for i, x := range initial {
+		s.pts[i] = space.NewPoint(x)
+	}
+	space.SampleAll(s.pts, cfg.InitialSample)
+	return s.run()
+}
+
+type search struct {
+	space sim.Space
+	cfg   Config
+	start float64
+
+	pts   []sim.Point
+	level int
+	res   Result
+}
+
+func (s *search) elapsed() float64 { return s.space.Clock().Now() - s.start }
+
+func (s *search) overBudget() bool {
+	return s.cfg.MaxWalltime > 0 && s.elapsed() >= s.cfg.MaxWalltime
+}
+
+// size computes D(S), the maximum pairwise distance (eq 2.5).
+func (s *search) size() float64 {
+	maxD := 0.0
+	for i := 0; i < len(s.pts); i++ {
+		for j := i + 1; j < len(s.pts); j++ {
+			xi, xj := s.pts[i].X(), s.pts[j].X()
+			sum := 0.0
+			for k := range xi {
+				dk := xi[k] - xj[k]
+				sum += dk * dk
+			}
+			if d := math.Sqrt(sum); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+func (s *search) best() int {
+	bi := 0
+	for i := 1; i < len(s.pts); i++ {
+		if s.pts[i].Estimate().Mean < s.pts[bi].Estimate().Mean {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// waitCriterion samples until every point satisfies eq 2.4.
+func (s *search) waitCriterion() {
+	dt := s.cfg.Resample
+	rounds := 0
+	for {
+		cutoff := s.cfg.K1 * math.Exp2(-float64(s.level)*(1+s.cfg.K2))
+		ok := true
+		for _, p := range s.pts {
+			sg := p.Estimate().Sigma
+			if sg*sg >= cutoff {
+				ok = false
+				break
+			}
+		}
+		if ok || s.overBudget() || rounds >= s.cfg.MaxWaitRounds {
+			return
+		}
+		s.space.SampleAll(s.pts, dt)
+		dt *= s.cfg.ResampleGrowth
+		rounds++
+	}
+}
+
+// transform builds a fresh, sampled structure from the given coordinates.
+func (s *search) transform(coords [][]float64) []sim.Point {
+	pts := make([]sim.Point, len(coords))
+	for i, x := range coords {
+		pts[i] = s.space.NewPoint(x)
+	}
+	s.space.SampleAll(pts, s.cfg.InitialSample)
+	return pts
+}
+
+func closeAll(pts []sim.Point) {
+	for _, p := range pts {
+		p.Close()
+	}
+}
+
+func bestOf(pts []sim.Point) (int, float64) {
+	bi, bv := 0, pts[0].Estimate().Mean
+	for i := 1; i < len(pts); i++ {
+		if v := pts[i].Estimate().Mean; v < bv {
+			bi, bv = i, v
+		}
+	}
+	return bi, bv
+}
+
+// Reflect applies eq 2.6 around x.
+func Reflect(coords [][]float64, x []float64) [][]float64 {
+	out := make([][]float64, len(coords))
+	for i, xi := range coords {
+		p := make([]float64, len(x))
+		for k := range x {
+			p[k] = 2*x[k] - xi[k]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Expand applies eq 2.7 around x.
+func Expand(coords [][]float64, x []float64) [][]float64 {
+	out := make([][]float64, len(coords))
+	for i, xi := range coords {
+		p := make([]float64, len(x))
+		for k := range x {
+			p[k] = 2*xi[k] - x[k]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Contract applies eq 2.8 around x.
+func Contract(coords [][]float64, x []float64) [][]float64 {
+	out := make([][]float64, len(coords))
+	for i, xi := range coords {
+		p := make([]float64, len(x))
+		for k := range x {
+			p[k] = 0.5 * (x[k] + xi[k])
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func coordsOf(pts []sim.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = append([]float64(nil), p.X()...)
+	}
+	return out
+}
+
+func (s *search) run() (*Result, error) {
+	for {
+		switch {
+		case s.size() <= s.cfg.Tol:
+			s.res.Termination = "size"
+		case s.overBudget():
+			s.res.Termination = "walltime"
+		case s.cfg.MaxIterations > 0 && s.res.Iterations >= s.cfg.MaxIterations:
+			s.res.Termination = "iterations"
+		}
+		if s.res.Termination != "" {
+			break
+		}
+
+		s.waitCriterion()
+
+		bi := s.best()
+		xbest := append([]float64(nil), s.pts[bi].X()...)
+		gbest := s.pts[bi].Estimate().Mean
+		cur := coordsOf(s.pts)
+
+		// Try the reflected structure around the best point.
+		refl := s.transform(Reflect(cur, xbest))
+		_, gref := bestOf(refl)
+		if gref < gbest {
+			// Reflection improves; try expanding away from the best point.
+			exp := s.transform(Expand(cur, xbest))
+			if _, gexp := bestOf(exp); gexp < gref {
+				closeAll(s.pts)
+				closeAll(refl)
+				s.pts = exp
+				s.level--
+				s.res.Expansions++
+			} else {
+				closeAll(s.pts)
+				closeAll(exp)
+				s.pts = refl
+				s.res.Reflections++
+			}
+		} else {
+			// Reflection failed; contract toward the best point. The best
+			// point itself is a member of the contracted structure (x maps
+			// to x), so progress is never discarded.
+			closeAll(refl)
+			con := s.transform(Contract(cur, xbest))
+			closeAll(s.pts)
+			s.pts = con
+			s.level++
+			s.res.Contractions++
+		}
+		s.res.Iterations++
+		if s.cfg.Trace != nil {
+			_, g := bestOf(s.pts)
+			s.cfg.Trace(s.res.Iterations, s.elapsed(), g)
+		}
+	}
+
+	bi := s.best()
+	s.res.BestX = append([]float64(nil), s.pts[bi].X()...)
+	s.res.BestG = s.pts[bi].Estimate().Mean
+	s.res.Walltime = s.elapsed()
+	s.res.ContractionLevel = s.level
+	closeAll(s.pts)
+	return &s.res, nil
+}

@@ -1,0 +1,210 @@
+package anderson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+)
+
+func space(f func([]float64) float64, dim int, sigma float64, seed int64) *sim.LocalSpace {
+	return sim.NewLocalSpace(sim.LocalConfig{
+		Dim: dim, F: f, Sigma0: sim.ConstSigma(sigma), Seed: seed, Parallel: true,
+	})
+}
+
+func structureAround(center []float64, spread float64, rng *rand.Rand, m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		p := make([]float64, len(center))
+		for j := range p {
+			p[j] = center[j] + spread*(rng.Float64()-0.5)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestTransformIdentities(t *testing.T) {
+	coords := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	x := []float64{1, 2}
+
+	refl := Reflect(coords, x)
+	// REFLECT(S,x): x_i -> 2x - x_i. First point (==x) maps to itself.
+	if refl[0][0] != 1 || refl[0][1] != 2 {
+		t.Fatalf("reflect of x itself = %v, want (1,2)", refl[0])
+	}
+	if refl[1][0] != -1 || refl[1][1] != 0 {
+		t.Fatalf("reflect of (3,4) = %v, want (-1,0)", refl[1])
+	}
+
+	exp := Expand(coords, x)
+	// EXPAND(S,x): x_i -> 2x_i - x. (3,4) -> (5,6).
+	if exp[1][0] != 5 || exp[1][1] != 6 {
+		t.Fatalf("expand of (3,4) = %v, want (5,6)", exp[1])
+	}
+
+	con := Contract(coords, x)
+	// CONTRACT(S,x): x_i -> (x+x_i)/2. (5,6) -> (3,4).
+	if con[2][0] != 3 || con[2][1] != 4 {
+		t.Fatalf("contract of (5,6) = %v, want (3,4)", con[2])
+	}
+}
+
+// Property (paper section 2.2): expansion doubles the structure size,
+// contraction halves it, reflection preserves it.
+func TestTransformSizeProperty(t *testing.T) {
+	size := func(coords [][]float64) float64 {
+		maxD := 0.0
+		for i := range coords {
+			for j := i + 1; j < len(coords); j++ {
+				s := 0.0
+				for k := range coords[i] {
+					d := coords[i][k] - coords[j][k]
+					s += d * d
+				}
+				if d := math.Sqrt(s); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		return maxD
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		coords := structureAround([]float64{1, -2, 3}, 4, rng, 5)
+		x := coords[0]
+		d0 := size(coords)
+		if d0 == 0 {
+			return true
+		}
+		rel := func(a, b float64) float64 { return math.Abs(a-b) / b }
+		return rel(size(Reflect(coords, x)), d0) < 1e-9 &&
+			rel(size(Expand(coords, x)), 2*d0) < 1e-9 &&
+			rel(size(Contract(coords, x)), d0/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiselessSphereConverges(t *testing.T) {
+	sp := space(testfunc.Sphere, 2, 0, 1)
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.Tol = 1e-5
+	res, err := Optimize(sp, structureAround([]float64{3, 3}, 1, rng, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Termination != "size" {
+		t.Fatalf("termination = %q, want size", res.Termination)
+	}
+	if d := testfunc.Dist(res.BestX, []float64{0, 0}); d > 0.5 {
+		t.Fatalf("best %v too far from origin (%v)", res.BestX, d)
+	}
+}
+
+func TestNoisyRosenbrockProgress(t *testing.T) {
+	sp := space(testfunc.Rosenbrock, 3, 10, 5)
+	rng := rand.New(rand.NewSource(3))
+	start := structureAround([]float64{-1, 2, 1}, 2, rng, 4)
+	startBest := math.Inf(1)
+	for _, x := range start {
+		if f := testfunc.Rosenbrock(x); f < startBest {
+			startBest = f
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxWalltime = 2e4
+	cfg.Tol = 1e-6
+	res, err := Optimize(sp, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := testfunc.Rosenbrock(res.BestX); f >= startBest {
+		t.Fatalf("no progress: f(best)=%v, started at %v", f, startBest)
+	}
+}
+
+// The Table 3.2 observation: a small k1 is the strict noise criterion — each
+// move demands enormous sampling, so under a fixed time budget the search
+// manages far fewer iterations (small N) and stalls far from the minimum
+// (large R) compared to a large k1.
+func TestSmallK1StallsUnderBudget(t *testing.T) {
+	run := func(k1 float64) *Result {
+		sp := space(testfunc.Rosenbrock, 3, 100, 7)
+		rng := rand.New(rand.NewSource(4))
+		cfg := DefaultConfig()
+		cfg.K1 = k1
+		cfg.Tol = 1e-3
+		cfg.MaxWalltime = 5e4
+		res, err := Optimize(sp, structureAround([]float64{-2, 1, 0}, 3, rng, 4), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(1)
+	large := run(1 << 20)
+	if small.Iterations >= large.Iterations {
+		t.Fatalf("small k1 iterations %d not fewer than large k1 %d under the same budget",
+			small.Iterations, large.Iterations)
+	}
+	if small.Walltime < large.Walltime {
+		t.Fatalf("small k1 walltime %v should exhaust the budget (large k1 used %v)",
+			small.Walltime, large.Walltime)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sp := space(testfunc.Sphere, 2, 0, 1)
+	pts := [][]float64{{0, 0}, {1, 1}, {0, 1}}
+	cfg := DefaultConfig()
+	cfg.K1 = 0
+	if _, err := Optimize(sp, pts, cfg); err == nil {
+		t.Error("K1=0 accepted")
+	}
+	if _, err := Optimize(sp, [][]float64{{0, 0}}, DefaultConfig()); err == nil {
+		t.Error("single-point structure accepted")
+	}
+	if _, err := Optimize(sp, [][]float64{{0}, {1}}, DefaultConfig()); err == nil {
+		t.Error("wrong-dimension points accepted")
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	sp := space(testfunc.Rosenbrock, 3, 100, 8)
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 7
+	cfg.Tol = 0
+	cfg.MaxWalltime = 0
+	res, err := Optimize(sp, structureAround([]float64{0, 0, 0}, 2, rng, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Termination != "iterations" || res.Iterations != 7 {
+		t.Fatalf("got %q after %d, want iterations after 7", res.Termination, res.Iterations)
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	sp := space(testfunc.Sphere, 2, 0, 10)
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 5
+	cfg.Tol = 0
+	cfg.MaxWalltime = 0
+	n := 0
+	cfg.Trace = func(iter int, time, best float64) { n++ }
+	if _, err := Optimize(sp, structureAround([]float64{2, 2}, 1, rng, 3), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("trace called %d times, want 5", n)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/testfunc"
+)
+
+// BenchmarkIterationDET measures the cost of one deterministic simplex
+// iteration including sampling bookkeeping.
+func BenchmarkIterationDET(b *testing.B) {
+	benchIterations(b, DET, 0)
+}
+
+// BenchmarkIterationMN includes the max-noise wait machinery.
+func BenchmarkIterationMN(b *testing.B) {
+	benchIterations(b, MN, 50)
+}
+
+// BenchmarkIterationPC includes the confidence comparisons and resampling.
+func BenchmarkIterationPC(b *testing.B) {
+	benchIterations(b, PC, 50)
+}
+
+func benchIterations(b *testing.B, alg Algorithm, sigma float64) {
+	b.Helper()
+	start := [][]float64{{-3, -3, -3}, {4, -2, 1}, {-1, 3, -2}, {2, 2, 4}}
+	b.ReportAllocs()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		sp := space(testfunc.Rosenbrock, 3, sigma, int64(i+1))
+		cfg := DefaultConfig(alg)
+		cfg.MaxIterations = 50
+		cfg.Tol = 0
+		cfg.MaxWalltime = 0
+		res, err := Optimize(sp, start, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.Iterations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}
+
+// BenchmarkRestarts measures the restart wrapper overhead.
+func BenchmarkRestarts(b *testing.B) {
+	start := [][]float64{{-1.5, 2}, {-1.4, 2.1}, {-1.6, 2.1}}
+	for i := 0; i < b.N; i++ {
+		sp := space(testfunc.Rosenbrock, 2, 0, int64(i+1))
+		cfg := DefaultConfig(DET)
+		cfg.MaxIterations = 40
+		cfg.Tol = 1e-9
+		cfg.MaxWalltime = 0
+		if _, err := OptimizeWithRestarts(sp, start, RestartConfig{
+			Config: cfg, Restarts: 3, Scale: []float64{0.3, 0.3},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// Optimize runs the configured stochastic simplex on the given space starting
+// from the provided initial simplex (d+1 vertices of dimension d). The
+// initial simplex is the one piece of human input the paper deliberately does
+// not automate ("the total cost of the optimization can depend dramatically
+// on the initial state of the simplex").
+func Optimize(space sim.Space, initial [][]float64, cfg Config) (*Result, error) {
+	d := space.Dim()
+	if err := cfg.validate(d); err != nil {
+		return nil, err
+	}
+	if len(initial) != d+1 {
+		return nil, fmt.Errorf("core: initial simplex has %d vertices, want d+1 = %d", len(initial), d+1)
+	}
+	for i, v := range initial {
+		if len(v) != d {
+			return nil, fmt.Errorf("core: initial vertex %d has dimension %d, want %d", i, len(v), d)
+		}
+	}
+	o := &optimizer{space: space, cfg: cfg, d: d, clock: space.Clock()}
+	o.start = o.clock.Now()
+	o.verts = make([]sim.Point, d+1)
+	for i, v := range initial {
+		o.verts[i] = space.NewPoint(v)
+	}
+	// All initial vertices sample concurrently: the MW deployment keeps one
+	// worker per vertex busy from the start (section 3.1).
+	space.SampleAll(o.verts, cfg.InitialSample)
+	return o.run()
+}
+
+type optimizer struct {
+	space sim.Space
+	cfg   Config
+	d     int
+	clock *vtime.Clock
+	start float64
+
+	verts    []sim.Point // d+1 simplex vertices
+	trials   []sim.Point // live trial points (reflection/expansion/contraction)
+	level    int         // contraction level l (section 2.2)
+	lastMove Move        // transformation applied in the latest iteration
+
+	res  Result
+	term string
+}
+
+// run drives the main loop. Each pass is one simplex iteration.
+func (o *optimizer) run() (*Result, error) {
+	for {
+		if o.checkTermination() {
+			break
+		}
+		var err error
+		switch o.cfg.Algorithm {
+		case DET:
+			err = o.stepNM(waitNone)
+		case MN:
+			err = o.stepNM(waitMaxNoise)
+		case AndersonNM:
+			err = o.stepNM(waitAnderson)
+		case PC:
+			err = o.stepPC(false)
+		case PCMN:
+			err = o.stepPC(true)
+		default:
+			err = errors.New("core: unknown algorithm")
+		}
+		if err != nil {
+			return nil, err
+		}
+		o.res.Iterations++
+		o.stepOverhead()
+		o.emitTrace()
+	}
+	o.finish()
+	return &o.res, nil
+}
+
+func (o *optimizer) stepOverhead() {
+	oh := o.cfg.OverheadBase + o.cfg.OverheadPerDim*float64(o.d)
+	if oh > 0 {
+		o.clock.Advance(oh)
+	}
+}
+
+func (o *optimizer) elapsed() float64 { return o.clock.Now() - o.start }
+
+// spread returns max_i |g_i - g_min| over the current estimates (eq 2.9).
+func (o *optimizer) spread() float64 {
+	min := math.Inf(1)
+	max := math.Inf(-1)
+	for _, v := range o.verts {
+		g := v.Estimate().Mean
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return max - min
+}
+
+func (o *optimizer) checkTermination() bool {
+	if o.term != "" {
+		return true
+	}
+	switch {
+	case o.spread() <= o.cfg.Tol:
+		o.term = "tolerance"
+	case o.cfg.MaxWalltime > 0 && o.elapsed() >= o.cfg.MaxWalltime:
+		o.term = "walltime"
+	case o.cfg.MaxIterations > 0 && o.res.Iterations >= o.cfg.MaxIterations:
+		o.term = "iterations"
+	default:
+		return false
+	}
+	return true
+}
+
+// overBudget reports whether the walltime budget is exhausted; used inside
+// wait/resample loops so a stalled decision cannot run past the budget.
+func (o *optimizer) overBudget() bool {
+	return o.cfg.MaxWalltime > 0 && o.elapsed() >= o.cfg.MaxWalltime
+}
+
+// clampDt caps a sampling increment at the remaining walltime budget, so the
+// geometrically growing resample rounds cannot overshoot MaxWalltime by more
+// than one round's rounding. Returns 0 when no budget remains.
+func (o *optimizer) clampDt(dt float64) float64 {
+	if o.cfg.MaxWalltime <= 0 {
+		return dt
+	}
+	rem := o.cfg.MaxWalltime - o.elapsed()
+	if rem <= 0 {
+		return 0
+	}
+	if dt > rem {
+		return rem
+	}
+	return dt
+}
+
+// order returns the indices of the worst (imax), second-worst (ismax) and
+// best (imin) vertices by current estimate.
+func (o *optimizer) order() (imax, ismax, imin int) {
+	n := len(o.verts)
+	imax, imin = 0, 0
+	for i := 1; i < n; i++ {
+		gi := o.verts[i].Estimate().Mean
+		if gi > o.verts[imax].Estimate().Mean {
+			imax = i
+		}
+		if gi < o.verts[imin].Estimate().Mean {
+			imin = i
+		}
+	}
+	ismax = -1
+	for i := 0; i < n; i++ {
+		if i == imax {
+			continue
+		}
+		if ismax == -1 || o.verts[i].Estimate().Mean > o.verts[ismax].Estimate().Mean {
+			ismax = i
+		}
+	}
+	if ismax == -1 {
+		ismax = imin // degenerate d=1 simplex: second-worst is the best
+	}
+	return imax, ismax, imin
+}
+
+// centroid computes the centroid of all vertices except imax.
+func (o *optimizer) centroid(imax int) []float64 {
+	c := make([]float64, o.d)
+	n := 0
+	for i, v := range o.verts {
+		if i == imax {
+			continue
+		}
+		for j, xj := range v.X() {
+			c[j] += xj
+		}
+		n++
+	}
+	for j := range c {
+		c[j] /= float64(n)
+	}
+	return c
+}
+
+// affine returns a + t*(b-a) evaluated per coordinate as (1-t)*a + t*b.
+func affine(a, b []float64, t float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (1-t)*a[i] + t*b[i]
+	}
+	return out
+}
+
+// reflectPoint computes 2*cent - xmax (alpha = 1).
+func reflectPoint(cent, xmax []float64) []float64 {
+	out := make([]float64, len(cent))
+	for i := range cent {
+		out[i] = 2*cent[i] - xmax[i]
+	}
+	return out
+}
+
+// expandPoint computes 2*ref - cent (gamma = 2).
+func expandPoint(ref, cent []float64) []float64 {
+	out := make([]float64, len(cent))
+	for i := range cent {
+		out[i] = 2*ref[i] - cent[i]
+	}
+	return out
+}
+
+// contractPoint computes 0.5*xmax + 0.5*cent (beta = 0.5).
+func contractPoint(xmax, cent []float64) []float64 {
+	return affine(xmax, cent, 0.5)
+}
+
+// newSampled creates a point and gives it the initial sampling allotment.
+func (o *optimizer) newSampled(x []float64) sim.Point {
+	p := o.space.NewPoint(x)
+	o.space.SampleAll([]sim.Point{p}, o.cfg.InitialSample)
+	return p
+}
+
+// replace installs p as vertex i, closing the displaced point.
+func (o *optimizer) replace(i int, p sim.Point) {
+	o.verts[i].Close()
+	o.verts[i] = p
+}
+
+// collapse moves every vertex except imin halfway toward the best vertex and
+// restarts sampling there. The contraction level increases by d (section 2.2).
+func (o *optimizer) collapse(imin int) {
+	xmin := o.verts[imin].X()
+	fresh := make([]sim.Point, 0, o.d)
+	for i := range o.verts {
+		if i == imin {
+			continue
+		}
+		nx := affine(o.verts[i].X(), xmin, 0.5)
+		p := o.space.NewPoint(nx)
+		o.verts[i].Close()
+		o.verts[i] = p
+		fresh = append(fresh, p)
+	}
+	o.space.SampleAll(fresh, o.cfg.InitialSample)
+	o.level += o.d
+	o.res.Moves.Collapses++
+}
+
+func (o *optimizer) emitTrace() {
+	if o.cfg.Trace == nil {
+		return
+	}
+	_, _, imin := o.order()
+	best := o.verts[imin]
+	underlying := math.NaN()
+	if f, ok := sim.Underlying(best); ok {
+		underlying = f
+	}
+	o.cfg.Trace(TraceEvent{
+		Iter:             o.res.Iterations,
+		Time:             o.elapsed(),
+		Best:             best.Estimate().Mean,
+		BestX:            append([]float64(nil), best.X()...),
+		BestUnderlying:   underlying,
+		Spread:           o.spread(),
+		Move:             o.lastMove,
+		ContractionLevel: o.level,
+	})
+}
+
+func (o *optimizer) finish() {
+	_, _, imin := o.order()
+	best := o.verts[imin]
+	est := best.Estimate()
+	o.res.BestX = append([]float64(nil), best.X()...)
+	o.res.BestG = est.Mean
+	o.res.BestSigma = est.Sigma
+	o.res.Walltime = o.elapsed()
+	o.res.Evaluations = o.space.Evaluations()
+	o.res.Termination = o.term
+	o.res.FinalSpread = o.spread()
+	o.res.ContractionLevel = o.level
+	o.res.FinalSimplex = make([][]float64, len(o.verts))
+	o.res.FinalValues = make([]float64, len(o.verts))
+	for i, v := range o.verts {
+		o.res.FinalSimplex[i] = append([]float64(nil), v.X()...)
+		o.res.FinalValues[i] = v.Estimate().Mean
+		v.Close()
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RestartConfig wraps a Config with the restart strategy of section 1.3.5.1:
+// the downhill simplex is prone to premature termination in curved, gently
+// sloped valleys (the simplex collapses geometrically before reaching the
+// basin floor), "done either by restarting the simplex or by using it as a
+// local search subroutine". After each convergence a fresh simplex is
+// rebuilt around the best point found so far and the optimization resumes.
+type RestartConfig struct {
+	Config
+	// Restarts is the number of restarts after the first convergence.
+	Restarts int
+	// Scale gives the edge lengths of each rebuilt simplex, one entry per
+	// dimension (the natural parameter scales of the problem).
+	Scale []float64
+	// ScaleDecay multiplies Scale at each restart (default 0.5), so later
+	// restarts probe progressively finer neighbourhoods.
+	ScaleDecay float64
+}
+
+// OptimizeWithRestarts runs Optimize, then restarts it from a fresh simplex
+// around the best vertex the configured number of times, returning the best
+// result overall. The walltime budget of the inner Config applies per leg;
+// iteration counts and sampling statistics are accumulated into the returned
+// Result.
+func OptimizeWithRestarts(space sim.Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
+	if rcfg.Restarts < 0 {
+		return nil, errors.New("core: RestartConfig.Restarts must be >= 0")
+	}
+	d := space.Dim()
+	if len(rcfg.Scale) != d {
+		return nil, fmt.Errorf("core: RestartConfig.Scale has %d entries, want %d", len(rcfg.Scale), d)
+	}
+	for i, s := range rcfg.Scale {
+		if s <= 0 {
+			return nil, fmt.Errorf("core: RestartConfig.Scale[%d] = %v must be positive", i, s)
+		}
+	}
+	decay := rcfg.ScaleDecay
+	if decay == 0 {
+		decay = 0.5
+	}
+	if decay <= 0 || decay > 1 {
+		return nil, errors.New("core: RestartConfig.ScaleDecay must be in (0, 1]")
+	}
+
+	best, err := Optimize(space, initial, rcfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	total := *best
+
+	scale := append([]float64(nil), rcfg.Scale...)
+	for r := 0; r < rcfg.Restarts; r++ {
+		fresh := simplexAround(best.BestX, scale)
+		leg, err := Optimize(space, fresh, rcfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		accumulate(&total, leg)
+		if leg.BestG < best.BestG {
+			best = leg
+			total.BestX = leg.BestX
+			total.BestG = leg.BestG
+			total.BestSigma = leg.BestSigma
+			total.FinalSimplex = leg.FinalSimplex
+			total.FinalValues = leg.FinalValues
+			total.FinalSpread = leg.FinalSpread
+			total.Termination = leg.Termination
+			total.ContractionLevel = leg.ContractionLevel
+		}
+		for i := range scale {
+			scale[i] *= decay
+		}
+	}
+	return &total, nil
+}
+
+// simplexAround builds a right-angle simplex: the anchor point plus one
+// vertex offset by scale[i] along each coordinate axis.
+func simplexAround(x []float64, scale []float64) [][]float64 {
+	d := len(x)
+	out := make([][]float64, d+1)
+	out[0] = append([]float64(nil), x...)
+	for i := 0; i < d; i++ {
+		v := append([]float64(nil), x...)
+		v[i] += scale[i]
+		out[i+1] = v
+	}
+	return out
+}
+
+// accumulate folds a leg's effort counters into the running total.
+func accumulate(total, leg *Result) {
+	total.Iterations += leg.Iterations
+	total.Walltime += leg.Walltime
+	total.Evaluations = leg.Evaluations // cumulative on the space already
+	total.WaitRounds += leg.WaitRounds
+	total.ResampleRounds += leg.ResampleRounds
+	total.ForcedDecisions += leg.ForcedDecisions
+	total.Moves.Reflections += leg.Moves.Reflections
+	total.Moves.Expansions += leg.Moves.Expansions
+	total.Moves.Contractions += leg.Moves.Contractions
+	total.Moves.Collapses += leg.Moves.Collapses
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/testfunc"
+)
+
+func TestRestartValidation(t *testing.T) {
+	sp := space(testfunc.Sphere, 2, 0, 1)
+	start := [][]float64{{1, 1}, {2, 1}, {1, 2}}
+	base := RestartConfig{Config: DefaultConfig(DET), Scale: []float64{0.1, 0.1}}
+
+	bad := base
+	bad.Restarts = -1
+	if _, err := OptimizeWithRestarts(sp, start, bad); err == nil {
+		t.Error("negative restarts accepted")
+	}
+	bad = base
+	bad.Scale = []float64{0.1}
+	if _, err := OptimizeWithRestarts(sp, start, bad); err == nil {
+		t.Error("wrong scale length accepted")
+	}
+	bad = base
+	bad.Scale = []float64{0.1, -1}
+	if _, err := OptimizeWithRestarts(sp, start, bad); err == nil {
+		t.Error("negative scale accepted")
+	}
+	bad = base
+	bad.ScaleDecay = 2
+	if _, err := OptimizeWithRestarts(sp, start, bad); err == nil {
+		t.Error("decay > 1 accepted")
+	}
+}
+
+func TestZeroRestartsEqualsOptimize(t *testing.T) {
+	start := [][]float64{{3, 3}, {4, 3}, {3, 4}}
+	cfg := DefaultConfig(DET)
+	cfg.Tol = 1e-10
+
+	sp1 := space(testfunc.Sphere, 2, 0, 1)
+	plain, err := Optimize(sp1, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2 := space(testfunc.Sphere, 2, 0, 1)
+	restarted, err := OptimizeWithRestarts(sp2, start, RestartConfig{
+		Config: cfg, Restarts: 0, Scale: []float64{0.1, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarted.BestG != plain.BestG || restarted.Iterations != plain.Iterations {
+		t.Fatalf("zero-restart run differs: %v/%d vs %v/%d",
+			restarted.BestG, restarted.Iterations, plain.BestG, plain.Iterations)
+	}
+}
+
+// On the Rosenbrock banana a budget-starved simplex stalls in the valley;
+// restarts must recover and get strictly closer to the minimum.
+func TestRestartsImproveStalledRosenbrock(t *testing.T) {
+	start := [][]float64{{-1.5, 2}, {-1.4, 2.1}, {-1.6, 2.1}}
+	cfg := DefaultConfig(DET)
+	cfg.Tol = 1e-9
+	cfg.MaxIterations = 60 // starve the first leg
+	cfg.MaxWalltime = 0
+
+	spPlain := space(testfunc.Rosenbrock, 2, 0, 1)
+	plain, err := Optimize(spPlain, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spRe := space(testfunc.Rosenbrock, 2, 0, 1)
+	restarted, err := OptimizeWithRestarts(spRe, start, RestartConfig{
+		Config: cfg, Restarts: 4, Scale: []float64{0.3, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPlain := testfunc.Rosenbrock(plain.BestX)
+	fRe := testfunc.Rosenbrock(restarted.BestX)
+	if fRe >= fPlain {
+		t.Fatalf("restarts did not improve: %v vs %v", fRe, fPlain)
+	}
+	if restarted.Iterations <= plain.Iterations {
+		t.Fatal("restart legs not accumulated in Iterations")
+	}
+}
+
+func TestRestartsWorkUnderNoise(t *testing.T) {
+	sp := space(testfunc.Rosenbrock, 3, 10, 5)
+	cfg := DefaultConfig(PC)
+	cfg.MaxWalltime = 1e4
+	cfg.Tol = 0.01
+	res, err := OptimizeWithRestarts(sp, [][]float64{
+		{-2, 1, 0}, {-1, 2, 1}, {0, 0, -1}, {1, -1, 2},
+	}, RestartConfig{Config: cfg, Restarts: 2, Scale: []float64{0.5, 0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestX == nil || math.IsNaN(res.BestG) {
+		t.Fatal("restart result incomplete")
+	}
+}
+
+func TestSimplexAroundGeometry(t *testing.T) {
+	s := simplexAround([]float64{1, 2, 3}, []float64{0.1, 0.2, 0.3})
+	if len(s) != 4 {
+		t.Fatalf("vertices = %d", len(s))
+	}
+	if s[0][0] != 1 || s[0][1] != 2 || s[0][2] != 3 {
+		t.Fatalf("anchor = %v", s[0])
+	}
+	if s[1][0] != 1.1 || s[2][1] != 2.2 || s[3][2] != 3.3 {
+		t.Fatalf("offsets wrong: %v", s)
+	}
+	// Mutating the anchor input must not alias the simplex.
+	x := []float64{5, 5}
+	s2 := simplexAround(x, []float64{1, 1})
+	x[0] = 99
+	if s2[0][0] != 5 {
+		t.Fatal("simplexAround aliased its input")
+	}
+}
+
+// A restart around the best point of a converged sphere run must terminate
+// immediately near the optimum rather than wandering off.
+func TestRestartStaysAtOptimum(t *testing.T) {
+	sp := space(testfunc.Sphere, 2, 0, 3)
+	cfg := DefaultConfig(DET)
+	cfg.Tol = 1e-12
+	res, err := OptimizeWithRestarts(sp, [][]float64{{2, 2}, {3, 2}, {2, 3}}, RestartConfig{
+		Config: cfg, Restarts: 3, Scale: []float64{0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := testfunc.Sphere(res.BestX); f > 1e-6 {
+		t.Fatalf("f(best) = %v after restarts", f)
+	}
+}

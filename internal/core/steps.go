@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// waitPolicy selects the pre-decision sampling rule used by the NM-skeleton
+// algorithms.
+type waitPolicy int
+
+const (
+	waitNone     waitPolicy = iota // DET: decide on current estimates
+	waitMaxNoise                   // MN: eq 2.3
+	waitAnderson                   // Anderson criterion: eq 2.4
+)
+
+// decisionClock budgets the sampling effort of one simplex decision: it
+// clamps each increment to the remaining per-decision and global budgets and
+// enforces the round cap.
+type decisionClock struct {
+	o      *optimizer
+	start  float64
+	budget float64 // <= 0 means unlimited
+	rounds int
+}
+
+func (o *optimizer) newDecision() *decisionClock {
+	return &decisionClock{o: o, start: o.clock.Now(), budget: o.cfg.DecisionBudget}
+}
+
+// allow reports whether one more round of sampling may proceed and returns
+// the clamped increment. A false return with forced=true means the decision
+// must be made on the current means.
+func (d *decisionClock) allow(dt float64) (step float64, ok, forced bool) {
+	if d.o.overBudget() {
+		return 0, false, false
+	}
+	if d.rounds >= d.o.cfg.MaxWaitRounds {
+		return 0, false, true
+	}
+	step = d.o.clampDt(dt)
+	if step <= 0 {
+		return 0, false, false
+	}
+	if d.budget > 0 {
+		rem := d.budget - (d.o.clock.Now() - d.start)
+		if rem <= 0 {
+			return 0, false, true
+		}
+		if step > rem {
+			step = rem
+		}
+	}
+	d.rounds++
+	return step, true, false
+}
+
+// waitLoop samples all vertices until the policy's noise condition clears,
+// the decision budget or round cap forces a decision, or the walltime budget
+// runs out.
+func (o *optimizer) waitLoop(policy waitPolicy) {
+	if policy == waitNone {
+		return
+	}
+	dt := o.cfg.Resample
+	dec := o.newDecision()
+	for o.waitConditionHolds(policy) {
+		step, ok, forced := dec.allow(dt)
+		if !ok {
+			if forced {
+				o.res.ForcedDecisions++
+			}
+			return
+		}
+		o.space.SampleAll(o.verts, step)
+		dt *= o.cfg.ResampleGrowth
+		o.res.WaitRounds++
+	}
+}
+
+// waitConditionHolds reports whether sampling must continue before a decision.
+func (o *optimizer) waitConditionHolds(policy waitPolicy) bool {
+	switch policy {
+	case waitMaxNoise:
+		// Eq 2.3: wait while max_i sigma_i^2 > k * Var_internal, with
+		// Var_internal the variance of the vertices' *underlying* function
+		// values ("the noise at each of the vertices is small compared to
+		// the internal variance of the vertices themselves"). The observed
+		// scatter of the noisy estimates contains the noise itself, so the
+		// underlying variance is estimated by subtracting the average noise
+		// variance — otherwise the gate would self-satisfy under uniform
+		// noise and k would change the outcome rather than only the speed,
+		// contradicting section 3.2.
+		maxVar := 0.0
+		avgVar := 0.0
+		mean := 0.0
+		n := float64(len(o.verts))
+		for _, v := range o.verts {
+			est := v.Estimate()
+			s2 := est.Sigma * est.Sigma
+			if s2 > maxVar {
+				maxVar = s2
+			}
+			avgVar += s2 / n
+			mean += est.Mean / n
+		}
+		observed := 0.0
+		for _, v := range o.verts {
+			d := v.Estimate().Mean - mean
+			observed += d * d / n
+		}
+		internal := observed - avgVar
+		if internal < 0 {
+			internal = 0
+		}
+		return maxVar > o.cfg.MNK*internal
+	case waitAnderson:
+		// Eq 2.4: every vertex must satisfy sigma_i^2 < k1 * 2^(-l(1+k2)).
+		cutoff := o.cfg.K1 * math.Exp2(-float64(o.level)*(1+o.cfg.K2))
+		for _, v := range o.verts {
+			s := v.Estimate().Sigma
+			if s*s >= cutoff {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// stepNM performs one iteration of the Nelder-Mead skeleton shared by
+// Algorithms 1 and 2 (and the AndersonNM variant): reflection, then
+// expansion / reflection-accept / contraction / collapse, deciding on the
+// plain running means. The wait policy runs first.
+func (o *optimizer) stepNM(policy waitPolicy) error {
+	o.waitLoop(policy)
+
+	imax, _, imin := o.order()
+	cent := o.centroid(imax)
+	xmax := o.verts[imax].X()
+	gmax := o.verts[imax].Estimate().Mean
+	gmin := o.verts[imin].Estimate().Mean
+
+	ref := o.newSampled(reflectPoint(cent, xmax))
+	gref := ref.Estimate().Mean
+
+	switch {
+	case gref < gmin:
+		exp := o.newSampled(expandPoint(ref.X(), cent))
+		if exp.Estimate().Mean < gref {
+			o.replace(imax, exp)
+			ref.Close()
+			o.level--
+			o.lastMove = MoveExpand
+			o.res.Moves.Expansions++
+		} else {
+			o.replace(imax, ref)
+			exp.Close()
+			o.lastMove = MoveReflect
+			o.res.Moves.Reflections++
+		}
+	case gref < gmax:
+		// The paper's Algorithm 1 accepts any reflection that improves on
+		// the worst vertex (line 12), unlike the textbook smax band.
+		o.replace(imax, ref)
+		o.lastMove = MoveReflect
+		o.res.Moves.Reflections++
+	default:
+		con := o.newSampled(contractPoint(xmax, cent))
+		if con.Estimate().Mean < gmax {
+			o.replace(imax, con)
+			ref.Close()
+			o.level++
+			o.lastMove = MoveContract
+			o.res.Moves.Contractions++
+		} else {
+			ref.Close()
+			con.Close()
+			o.collapse(imin)
+			o.lastMove = MoveCollapse
+		}
+	}
+	return nil
+}
+
+// confidently reports the outcome of the PC comparison "a is below b" for
+// condition cond: mean(a) + K*sigma_a < mean(b) - K*sigma_b when the
+// condition uses error bars, else mean(a) < mean(b). The second return value
+// distinguishes a definite verdict from the comparison itself; callers pair
+// two complementary conditions and resample while both are false.
+func (o *optimizer) confidently(a, b sim.Point, cond int) bool {
+	ea, eb := a.Estimate(), b.Estimate()
+	if o.cfg.ErrorBars.Has(cond) {
+		return ea.Mean+o.cfg.K*ea.Sigma < eb.Mean-o.cfg.K*eb.Sigma
+	}
+	return ea.Mean < eb.Mean
+}
+
+// confidentlyGEq reports "a is above-or-equal b" at confidence for condition
+// cond: mean(a) - K*sigma_a >= mean(b) + K*sigma_b with error bars, else
+// mean(a) >= mean(b).
+func (o *optimizer) confidentlyGEq(a, b sim.Point, cond int) bool {
+	ea, eb := a.Estimate(), b.Estimate()
+	if o.cfg.ErrorBars.Has(cond) {
+		return ea.Mean-o.cfg.K*ea.Sigma >= eb.Mean+o.cfg.K*eb.Sigma
+	}
+	return ea.Mean >= eb.Mean
+}
+
+// resample gives the points of an indeterminate comparison one more round of
+// concurrent sampling. Under ScopeActive (default), every active point — the
+// d+1 vertices plus live trial points — accrues: in the paper's deployment a
+// worker is dedicated to each active vertex, so while a comparison is
+// pending all of them keep accumulating precision at no extra wall-clock
+// cost ("objective function evaluations must be kept active on each of the
+// d+1 vertices until it is certain that they are no longer needed"). Under
+// ScopePair only the two compared points sample. Returns false when the
+// budget or the round cap is exhausted and the decision must be forced.
+func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) bool {
+	step, ok, forced := dec.allow(*dt)
+	if !ok {
+		if forced {
+			o.res.ForcedDecisions++
+		}
+		return false
+	}
+	var batch []sim.Point
+	if o.cfg.Scope == ScopePair {
+		batch = []sim.Point{a, b}
+	} else {
+		batch = make([]sim.Point, 0, len(o.verts)+len(o.trials))
+		batch = append(batch, o.verts...)
+		batch = append(batch, o.trials...)
+	}
+	o.space.SampleAll(batch, step)
+	*dt *= o.cfg.ResampleGrowth
+	o.res.ResampleRounds++
+	return true
+}
+
+// stepPC performs one iteration of the point-to-point comparison algorithm
+// (Algorithm 3), optionally preceded by the max-noise wait loop (Algorithm 4,
+// PC+MN). The seven numbered conditions follow the paper's pseudocode; see
+// the package comment for the c5 symmetry note.
+func (o *optimizer) stepPC(withMaxNoise bool) error {
+	if withMaxNoise {
+		o.waitLoop(waitMaxNoise)
+	}
+
+	imax, ismax, imin := o.order()
+	cent := o.centroid(imax)
+	max := o.verts[imax]
+	smax := o.verts[ismax]
+	min := o.verts[imin]
+
+	ref := o.space.NewPoint(reflectPoint(cent, max.X()))
+	o.space.SampleAll([]sim.Point{ref}, o.cfg.InitialSample)
+	o.trials = []sim.Point{ref}
+	defer func() { o.trials = nil }()
+
+	dt := o.cfg.Resample
+	dec := o.newDecision()
+	for {
+		switch {
+		case o.confidently(ref, smax, 1): // condition 1: reflection viable
+			if o.confidentlyGEq(ref, min, 2) {
+				// Condition 2: ref is confidently above the best vertex;
+				// plain reflection, no expansion attempt.
+				o.replace(imax, ref)
+				o.lastMove = MoveReflect
+				o.res.Moves.Reflections++
+				return nil
+			}
+			return o.pcExpansion(imax, ref, cent)
+		case o.confidentlyGEq(ref, smax, 5): // condition 5: reflection fails
+			return o.pcContraction(imax, imin, ref, max, cent)
+		default:
+			// Indeterminate band between c1 and c5: resample "until
+			// condition 1 or 5 is satisfied" (all active points accrue).
+			if !o.resample(ref, smax, &dt, dec) {
+				// Forced decision on means.
+				if ref.Estimate().Mean < smax.Estimate().Mean {
+					if ref.Estimate().Mean >= min.Estimate().Mean {
+						o.replace(imax, ref)
+						o.lastMove = MoveReflect
+						o.res.Moves.Reflections++
+						return nil
+					}
+					return o.pcExpansion(imax, ref, cent)
+				}
+				return o.pcContraction(imax, imin, ref, max, cent)
+			}
+		}
+	}
+}
+
+// pcExpansion handles conditions 3 and 4: the reflected point may be a new
+// best, so the expansion point is evaluated and compared against it.
+func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
+	exp := o.space.NewPoint(expandPoint(ref.X(), cent))
+	o.space.SampleAll([]sim.Point{exp}, o.cfg.InitialSample)
+	o.trials = []sim.Point{ref, exp}
+	dt := o.cfg.Resample
+	dec := o.newDecision()
+	for {
+		switch {
+		case o.confidently(exp, ref, 3): // condition 3: expansion wins
+			o.replace(imax, exp)
+			ref.Close()
+			o.level--
+			o.lastMove = MoveExpand
+			o.res.Moves.Expansions++
+			return nil
+		case o.confidentlyGEq(exp, ref, 4): // condition 4: keep reflection
+			o.replace(imax, ref)
+			exp.Close()
+			o.lastMove = MoveReflect
+			o.res.Moves.Reflections++
+			return nil
+		default:
+			if !o.resample(exp, ref, &dt, dec) {
+				if exp.Estimate().Mean < ref.Estimate().Mean {
+					o.replace(imax, exp)
+					ref.Close()
+					o.level--
+					o.lastMove = MoveExpand
+					o.res.Moves.Expansions++
+				} else {
+					o.replace(imax, ref)
+					exp.Close()
+					o.lastMove = MoveReflect
+					o.res.Moves.Reflections++
+				}
+				return nil
+			}
+		}
+	}
+}
+
+// pcContraction handles conditions 6 and 7: reflection failed, so the
+// contraction point is evaluated against the worst vertex; if even the
+// contraction cannot beat it, the simplex collapses toward the best vertex.
+func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []float64) error {
+	con := o.space.NewPoint(contractPoint(max.X(), cent))
+	o.space.SampleAll([]sim.Point{con}, o.cfg.InitialSample)
+	o.trials = []sim.Point{ref, con}
+	dt := o.cfg.Resample
+	dec := o.newDecision()
+	for {
+		switch {
+		case o.confidently(con, max, 6): // condition 6: contraction accepted
+			o.replace(imax, con)
+			ref.Close()
+			o.level++
+			o.lastMove = MoveContract
+			o.res.Moves.Contractions++
+			return nil
+		case o.confidentlyGEq(con, max, 7): // condition 7: collapse
+			ref.Close()
+			con.Close()
+			o.collapse(imin)
+			o.lastMove = MoveCollapse
+			return nil
+		default:
+			if !o.resample(con, max, &dt, dec) {
+				if con.Estimate().Mean < max.Estimate().Mean {
+					o.replace(imax, con)
+					ref.Close()
+					o.level++
+					o.lastMove = MoveContract
+					o.res.Moves.Contractions++
+				} else {
+					ref.Close()
+					con.Close()
+					o.collapse(imin)
+					o.lastMove = MoveCollapse
+				}
+				return nil
+			}
+		}
+	}
+}

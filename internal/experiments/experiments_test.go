@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/testfunc"
+	"repro/internal/water"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table (3.1-3.5) and figure (3.3-3.20) of the evaluation must
+	// have a registered driver.
+	want := []string{
+		"Table3.1", "Table3.2", "Table3.3", "Table3.4", "Table3.5",
+		"Fig3.3", "Fig3.4", "Fig3.5", "Fig3.6", "Fig3.7", "Fig3.8",
+		"Fig3.9", "Fig3.10", "Fig3.11", "Fig3.12", "Fig3.13", "Fig3.14",
+		"Fig3.15", "Fig3.16", "Fig3.17", "Fig3.18", "Fig3.19", "Fig3.20",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d drivers, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].Name, name)
+		}
+	}
+	if _, err := ByName("Fig3.5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestTable31ShapeClaims(t *testing.T) {
+	rows, err := Table31Rows(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != quick.inputs() {
+		t.Fatalf("inputs = %d", len(rows))
+	}
+	// Paper: MN accuracy (R) is roughly independent of k — the spread of R
+	// across k within one input should be bounded relative to its scale;
+	// and all runs must actually iterate.
+	for input, perK := range rows {
+		for k, m := range perK {
+			if m.N == 0 {
+				t.Errorf("input %d k=%v: zero iterations", input, k)
+			}
+			if m.R < 0 || m.D < 0 {
+				t.Errorf("input %d k=%v: negative measures", input, k)
+			}
+		}
+	}
+}
+
+func TestTable32SmallK1IsWorse(t *testing.T) {
+	rows, err := Table32Rows(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: overly small k1 generates large errors; compare the k1=2^0
+	// column against k1=2^20 aggregated over inputs.
+	var rSmall, rLarge float64
+	var nSmall, nLarge int
+	for _, perK := range rows {
+		rSmall += perK[1].R
+		rLarge += perK[1<<20].R
+		nSmall += perK[1].N
+		nLarge += perK[1<<20].N
+	}
+	if rSmall <= rLarge {
+		t.Errorf("small k1 error %v not larger than k1=2^20 error %v", rSmall, rLarge)
+	}
+	if nSmall >= nLarge {
+		t.Errorf("small k1 iterations %d not fewer than k1=2^20 iterations %d", nSmall, nLarge)
+	}
+}
+
+func TestTable33RendersAllDims(t *testing.T) {
+	out, err := Table33(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"70", "160", "310"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3.3 missing total %s:\n%s", want, out)
+		}
+	}
+}
+
+// The central claim of Fig 3.5a: at heavy noise, MN lands closer to the true
+// minimum than DET in the majority-to-significant-minority sense; the median
+// log ratio must not favor DET.
+func TestFig35MNvsDETShape(t *testing.T) {
+	num := comparisonConfig(core.MN, quick)
+	den := comparisonConfig(core.DET, quick)
+	f := mustFunc(t, "rosenbrock")
+	ratios, _, _, err := pairComparison(quick, f, 4, 1000, num, den, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := stats.Median(ratios); med > 0.5 {
+		t.Fatalf("MN vs DET median log-ratio %v favours DET", med)
+	}
+	if frac := stats.FractionBelow(ratios, 0.5); frac < 0.5 {
+		t.Fatalf("MN ties-or-beats DET in only %.0f%% of runs", 100*frac)
+	}
+}
+
+// Fig 3.5b claim: PC ties or outperforms MN in ~90% of cases at high noise.
+func TestFig35PCvsMNShape(t *testing.T) {
+	num := comparisonConfig(core.PC, quick)
+	den := comparisonConfig(core.MN, quick)
+	f := mustFunc(t, "rosenbrock")
+	ratios, _, _, err := pairComparison(quick, f, 4, 1000, num, den, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := stats.FractionBelow(ratios, 0.5); frac < 0.6 {
+		t.Fatalf("PC ties-or-beats MN in only %.0f%% of runs", 100*frac)
+	}
+}
+
+// Fig 3.5c claim: the PC+MN vs PC distribution is near-symmetric with a
+// slight PC+MN edge ("performs slightly better at all noise levels, but only
+// by a small margin"). The paper's companion step-count asymmetry (178 vs
+// 900 steps) does not reproduce under parallel all-active sampling — see
+// EXPERIMENTS.md — so the robust assertions are the accuracy relation and
+// the mechanism itself: PC+MN runs the max-noise gate (wait rounds > 0)
+// while plain PC never does.
+func TestPCMNvsPCShape(t *testing.T) {
+	num := comparisonConfig(core.PCMN, quick)
+	den := comparisonConfig(core.PC, quick)
+	f := mustFunc(t, "rosenbrock")
+	ratios, pcmnM, pcM, err := pairComparison(quick, f, 4, 1000, num, den, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := stats.Median(ratios); med > 0.5 {
+		t.Fatalf("PC+MN vs PC median log-ratio %v strongly favours PC", med)
+	}
+	var pcmnWaits, pcWaits int
+	for i := range pcmnM {
+		pcmnWaits += pcmnM[i].Result.WaitRounds
+		pcWaits += pcM[i].Result.WaitRounds
+	}
+	if pcWaits != 0 {
+		t.Fatalf("plain PC recorded %d max-noise wait rounds", pcWaits)
+	}
+	if pcmnWaits == 0 {
+		t.Fatal("PC+MN never engaged the max-noise gate")
+	}
+}
+
+func TestAblationRatiosRun(t *testing.T) {
+	tiny := Options{Quick: true, Seed: 3}
+	ratios, err := AblationRatios(tiny, core.Conditions(1), core.AllConditions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != tiny.seeds() {
+		t.Fatalf("got %d ratios", len(ratios))
+	}
+}
+
+func TestFig34Renders(t *testing.T) {
+	out, err := Fig34(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MN k=2", "Anderson k1=2^30", "input 1", "time (s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 3.4 missing %q", want)
+		}
+	}
+}
+
+func TestFig35RendersAllPanels(t *testing.T) {
+	out, err := Fig35(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a) MN vs DET", "(b) PC vs MN", "(c) PC+MN vs PC", "median="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 3.5 missing %q", want)
+		}
+	}
+}
+
+func TestFig318Renders(t *testing.T) {
+	out, err := Fig318(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a) best value vs time", "(b) best value vs steps", "(c) time per simplex step", "procs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 3.18 missing %q", want)
+		}
+	}
+}
+
+func TestFig33Renders(t *testing.T) {
+	out, err := Fig33(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Rosenbrock") || len(out) < 500 {
+		t.Fatalf("suspicious Fig 3.3 output (%d bytes)", len(out))
+	}
+}
+
+func TestFig37Renders(t *testing.T) {
+	out, err := Fig37(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "k=1 vs k=2") || !strings.Contains(out, "median=") {
+		t.Fatalf("Fig 3.7 output malformed:\n%s", out)
+	}
+}
+
+func TestScaleUpRuns(t *testing.T) {
+	runs, err := ScaleUpRuns(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("quick scale-up dims = %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.Processes != int64(r.D)+3+int64(r.D)+3+int64(r.D)+3+1 {
+			t.Errorf("d=%d live processes %d mismatch", r.D, r.Processes)
+		}
+		if len(r.Times) == 0 || r.TimePerStep <= 0 {
+			t.Errorf("d=%d trace missing", r.D)
+		}
+	}
+	// Higher dimension costs more per step (the overhead model plus larger
+	// collapses).
+	if runs[1].TimePerStep <= runs[0].TimePerStep {
+		t.Errorf("time/step did not grow with d: %v vs %v",
+			runs[0].TimePerStep, runs[1].TimePerStep)
+	}
+}
+
+func TestWaterStudyConvergesNearTIP4P(t *testing.T) {
+	res, err := WaterStudy(quick, core.PC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: final parameters land near the published TIP4P
+	// values (eps ~0.147-0.155, sigma ~3.15-3.16, qH ~0.52-0.523).
+	if res.Final.Epsilon < 0.10 || res.Final.Epsilon > 0.22 {
+		t.Errorf("final eps = %v far from TIP4P", res.Final.Epsilon)
+	}
+	if res.Final.Sigma < 3.0 || res.Final.Sigma > 3.35 {
+		t.Errorf("final sigma = %v far from TIP4P", res.Final.Sigma)
+	}
+	if res.Final.QH < 0.46 || res.Final.QH > 0.58 {
+		t.Errorf("final qH = %v far from TIP4P", res.Final.QH)
+	}
+	// The optimized model must beat the poor starting vertex.
+	start := WaterInitialSimplex()[0]
+	if res.Cost >= waterCostOf(start) {
+		t.Errorf("no improvement: cost %v vs start %v", res.Cost, waterCostOf(start))
+	}
+	if len(res.Stages) != 4 {
+		t.Errorf("stages = %d", len(res.Stages))
+	}
+}
+
+func TestTable34Renders(t *testing.T) {
+	out, err := Table34(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a) Initial parameters", "MN", "PC", "PC+MN", "eps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3.4 missing %q", want)
+		}
+	}
+}
+
+func TestTable35Renders(t *testing.T) {
+	out, err := Table35(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"D", "gHH", "gOH", "gOO", "P", "E", "TIP4P V", "EXP V"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3.5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig319And320Render(t *testing.T) {
+	out, err := Fig319(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"experiment", "TIP4P", "optimized", "non-optimal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 3.19 missing %q", want)
+		}
+	}
+	out, err = Fig320(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stages") || !strings.Contains(out, "converged") {
+		t.Errorf("Fig 3.20 malformed:\n%s", out)
+	}
+}
+
+func mustFunc(t *testing.T, name string) testfunc.Func {
+	t.Helper()
+	f, err := testfunc.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func waterCostOf(x []float64) float64 { return water.NoiseFreeCost(x) }

@@ -1,0 +1,225 @@
+// Package fileio implements the worker-server communication conduit of the
+// paper's two-level architecture (Figure 3.2: "The workers and their
+// corresponding servers communicate via file I/O"). Each worker at the
+// simplex level talks to its vertex server through a pair of one-directional
+// file queues; the server talks to its simulation clients over MPI.
+//
+// Two implementations are provided behind one interface: the faithful
+// file-backed conduit (messages are written to a spool directory with an
+// atomic rename, exactly the write-then-rename pattern batch systems use to
+// avoid partial reads), and an in-memory conduit for tests and for
+// deployments where the file-system hop is unnecessary.
+package fileio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("fileio: conduit closed")
+
+// Conduit is a bidirectional, ordered, reliable byte-message channel.
+type Conduit interface {
+	// Send enqueues one message to the peer.
+	Send(data []byte) error
+	// Recv blocks for the next message from the peer.
+	Recv() ([]byte, error)
+	// Close releases resources and unblocks pending Recvs on both ends.
+	Close() error
+}
+
+// NewMemPair returns two connected in-memory conduit endpoints.
+func NewMemPair() (Conduit, Conduit) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &memConduit{out: ab, in: ba, done: done, close: closeFn}
+	b := &memConduit{out: ba, in: ab, done: done, close: closeFn}
+	return a, b
+}
+
+type memConduit struct {
+	out   chan []byte
+	in    chan []byte
+	done  chan struct{}
+	close func()
+}
+
+func (c *memConduit) Send(data []byte) error {
+	// Deterministic closed check first: a select with both a closed done
+	// channel and free buffer space would pick randomly.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	msg := append([]byte(nil), data...)
+	select {
+	case <-c.done:
+		return ErrClosed
+	case c.out <- msg:
+		return nil
+	}
+}
+
+func (c *memConduit) Recv() ([]byte, error) {
+	select {
+	case m := <-c.in: // drain queued messages even if closed afterwards
+		return m, nil
+	default:
+	}
+	select {
+	case <-c.done:
+		// One more non-blocking look: a message may have raced with Close.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	case m := <-c.in:
+		return m, nil
+	}
+}
+
+func (c *memConduit) Close() error {
+	c.close()
+	return nil
+}
+
+// FilePairConfig tunes the file-backed conduit.
+type FilePairConfig struct {
+	// Dir is the spool directory. It is created if missing.
+	Dir string
+	// PollInterval is the receive-side polling period. Zero selects a
+	// default suitable for tests (200 microseconds).
+	PollInterval time.Duration
+}
+
+// NewFilePair creates two connected file-backed endpoints spooling through
+// dir. Endpoint A writes to dir/a2b and reads dir/b2a; endpoint B is the
+// mirror image.
+func NewFilePair(cfg FilePairConfig) (Conduit, Conduit, error) {
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("fileio: Dir is required")
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 200 * time.Microsecond
+	}
+	a2b := filepath.Join(cfg.Dir, "a2b")
+	b2a := filepath.Join(cfg.Dir, "b2a")
+	for _, d := range []string{a2b, b2a} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("fileio: %w", err)
+		}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &fileConduit{outDir: a2b, inDir: b2a, poll: cfg.PollInterval, done: done, close: closeFn}
+	b := &fileConduit{outDir: b2a, inDir: a2b, poll: cfg.PollInterval, done: done, close: closeFn}
+	return a, b, nil
+}
+
+type fileConduit struct {
+	outDir string
+	inDir  string
+	poll   time.Duration
+	done   chan struct{}
+	close  func()
+
+	mu      sync.Mutex
+	sendSeq int64
+	recvSeq int64
+}
+
+const msgSuffix = ".msg"
+
+func (c *fileConduit) Send(data []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	c.mu.Lock()
+	seq := c.sendSeq
+	c.sendSeq++
+	c.mu.Unlock()
+	tmp := filepath.Join(c.outDir, fmt.Sprintf("msg-%012d.tmp", seq))
+	final := filepath.Join(c.outDir, fmt.Sprintf("msg-%012d%s", seq, msgSuffix))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fileio: %w", err)
+	}
+	// Atomic rename guarantees the reader never observes a partial message.
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("fileio: %w", err)
+	}
+	return nil
+}
+
+func (c *fileConduit) Recv() ([]byte, error) {
+	for {
+		c.mu.Lock()
+		seq := c.recvSeq
+		c.mu.Unlock()
+		path := filepath.Join(c.inDir, fmt.Sprintf("msg-%012d%s", seq, msgSuffix))
+		data, err := os.ReadFile(path)
+		if err == nil {
+			c.mu.Lock()
+			c.recvSeq++
+			c.mu.Unlock()
+			if rmErr := os.Remove(path); rmErr != nil {
+				return nil, fmt.Errorf("fileio: %w", rmErr)
+			}
+			return data, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("fileio: %w", err)
+		}
+		select {
+		case <-c.done:
+			// Final check for a message that raced with Close.
+			if data, err := os.ReadFile(path); err == nil {
+				c.mu.Lock()
+				c.recvSeq++
+				c.mu.Unlock()
+				os.Remove(path)
+				return data, nil
+			}
+			return nil, ErrClosed
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+func (c *fileConduit) Close() error {
+	c.close()
+	return nil
+}
+
+// PendingMessages reports the spooled-but-unread message files under dir,
+// sorted; exposed for the directory-layout assertions in tests and for
+// debugging stuck deployments.
+func PendingMessages(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fileio: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), msgSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

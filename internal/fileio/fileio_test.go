@@ -1,0 +1,242 @@
+package fileio
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func pairs(t *testing.T) map[string]func() (Conduit, Conduit) {
+	t.Helper()
+	return map[string]func() (Conduit, Conduit){
+		"mem": func() (Conduit, Conduit) {
+			a, b := NewMemPair()
+			return a, b
+		},
+		"file": func() (Conduit, Conduit) {
+			a, b, err := NewFilePair(FilePairConfig{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		},
+	}
+}
+
+func TestRoundTripBothDirections(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			defer a.Close()
+			if err := a.Send([]byte("from-a")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "from-a" {
+				t.Fatalf("got %q", got)
+			}
+			if err := b.Send([]byte("from-b")); err != nil {
+				t.Fatal(err)
+			}
+			got, err = a.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "from-b" {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			defer a.Close()
+			const n = 30
+			go func() {
+				for i := 0; i < n; i++ {
+					a.Send([]byte(fmt.Sprintf("msg-%03d", i)))
+				}
+			}()
+			for i := 0; i < n; i++ {
+				got, err := b.Recv()
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				want := fmt.Sprintf("msg-%03d", i)
+				if string(got) != want {
+					t.Errorf("position %d: got %q, want %q", i, got, want)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	a, b := NewMemPair()
+	defer a.Close()
+	buf := []byte("original")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "mutated!")
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("original")) {
+		t.Fatalf("payload aliased: got %q", got)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			errc := make(chan error, 1)
+			go func() {
+				_, err := b.Recv()
+				errc <- err
+			}()
+			a.Close()
+			if err := <-errc; err != ErrClosed {
+				t.Fatalf("Recv after close = %v, want ErrClosed", err)
+			}
+			if err := a.Send([]byte("x")); err != ErrClosed {
+				t.Fatalf("Send after close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestQueuedMessagesDrainAfterClose(t *testing.T) {
+	a, b := NewMemPair()
+	if err := a.Send([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("queued message lost after close: %v", err)
+	}
+	if string(got) != "queued" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			defer a.Close()
+			if err := a.Send(nil); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Fatalf("got %d bytes, want 0", len(got))
+			}
+		})
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			defer a.Close()
+			big := bytes.Repeat([]byte{0xAB}, 1<<20)
+			go a.Send(big)
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, big) {
+				t.Fatal("large payload corrupted")
+			}
+		})
+	}
+}
+
+func TestConcurrentBidirectionalTraffic(t *testing.T) {
+	for name, mk := range pairs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			defer a.Close()
+			const n = 50
+			var wg sync.WaitGroup
+			wg.Add(4)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					a.Send([]byte{byte(i)})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					b.Send([]byte{byte(i)})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					got, err := a.Recv()
+					if err != nil || got[0] != byte(i) {
+						t.Errorf("a recv %d: %v %v", i, got, err)
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					got, err := b.Recv()
+					if err != nil || got[0] != byte(i) {
+						t.Errorf("b recv %d: %v %v", i, got, err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestFilePairRequiresDir(t *testing.T) {
+	if _, _, err := NewFilePair(FilePairConfig{}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}
+
+func TestPendingMessages(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := NewFilePair(FilePairConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send([]byte("one"))
+	a.Send([]byte("two"))
+	pending, err := PendingMessages(dir + "/a2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending = %v, want 2 entries", pending)
+	}
+	if pending[0] >= pending[1] {
+		t.Fatalf("pending not sorted: %v", pending)
+	}
+}

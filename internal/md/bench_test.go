@@ -1,0 +1,67 @@
+package md
+
+import "testing"
+
+func benchSystem(b *testing.B, n int) *System {
+	b.Helper()
+	s, err := NewSystem(Config{N: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkForces64(b *testing.B) {
+	s := benchSystem(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ComputeForces()
+	}
+}
+
+func BenchmarkForces216CellList(b *testing.B) {
+	s, err := NewSystem(Config{N: 216, Seed: 1, Cutoff: 6.0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ComputeForces()
+	}
+}
+
+func BenchmarkStep64(b *testing.B) {
+	s := benchSystem(b, 64)
+	s.ComputeForces()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShake(b *testing.B) {
+	s := benchSystem(b, 64)
+	prev := make([]Vec3, len(s.Pos))
+	copy(prev, s.Pos)
+	// Perturb slightly so SHAKE has work to do each iteration.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range s.Pos {
+			s.Pos[j].X += 1e-4
+		}
+		if err := s.shake(prev, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRDFAccumulate(b *testing.B) {
+	s := benchSystem(b, 64)
+	rdf := NewRDF(s, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdf.Accumulate(s, PairOO)
+	}
+}

@@ -1,0 +1,30 @@
+package md
+
+import "math"
+
+// Box is a cubic periodic simulation cell of edge length L (angstrom).
+type Box struct {
+	L float64
+}
+
+// Volume returns L^3.
+func (b Box) Volume() float64 { return b.L * b.L * b.L }
+
+// MinImage returns the minimum-image convention displacement corresponding
+// to d, with every component folded into [-L/2, L/2).
+func (b Box) MinImage(d Vec3) Vec3 {
+	return Vec3{
+		d.X - b.L*math.Round(d.X/b.L),
+		d.Y - b.L*math.Round(d.Y/b.L),
+		d.Z - b.L*math.Round(d.Z/b.L),
+	}
+}
+
+// Wrap folds a position into the primary cell [0, L).
+func (b Box) Wrap(p Vec3) Vec3 {
+	return Vec3{
+		p.X - b.L*math.Floor(p.X/b.L),
+		p.Y - b.L*math.Floor(p.Y/b.L),
+		p.Z - b.L*math.Floor(p.Z/b.L),
+	}
+}

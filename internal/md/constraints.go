@@ -1,0 +1,110 @@
+package md
+
+import (
+	"fmt"
+	"math"
+)
+
+// constraint fixes the distance between two material sites of one molecule.
+type constraint struct {
+	i, j int
+	d    float64
+}
+
+// constraints builds the three rigid-body constraints per molecule:
+// O-H1, O-H2 and H1-H2.
+func (s *System) constraints() []constraint {
+	out := make([]constraint, 0, 3*s.N)
+	roh := s.Model.ROH
+	rhh := s.Model.HHDist()
+	for m := 0; m < s.N; m++ {
+		b := m * SitesPerMol
+		out = append(out,
+			constraint{b + SiteO, b + SiteH1, roh},
+			constraint{b + SiteO, b + SiteH2, roh},
+			constraint{b + SiteH1, b + SiteH2, rhh},
+		)
+	}
+	return out
+}
+
+const (
+	shakeTol      = 1e-10
+	shakeMaxIters = 500
+)
+
+// shake iteratively corrects the post-drift positions (and the velocities
+// consistently) so that every constraint is satisfied to shakeTol. prev
+// holds the pre-drift positions; dt is the timestep. This is the SHAKE
+// position pass of the RATTLE scheme.
+func (s *System) shake(prev []Vec3, dt float64) error {
+	cons := s.constraints()
+	for iter := 0; iter < shakeMaxIters; iter++ {
+		converged := true
+		for _, c := range cons {
+			r := s.Pos[c.i].Sub(s.Pos[c.j])
+			diff := r.Norm2() - c.d*c.d
+			if math.Abs(diff) <= shakeTol*c.d*c.d {
+				continue
+			}
+			converged = false
+			r0 := prev[c.i].Sub(prev[c.j])
+			invMi := 1 / s.Mass[c.i]
+			invMj := 1 / s.Mass[c.j]
+			denom := 2 * r.Dot(r0) * (invMi + invMj)
+			if denom == 0 {
+				return fmt.Errorf("md: SHAKE degenerate constraint %d-%d", c.i, c.j)
+			}
+			g := diff / denom
+			corr := r0.Scale(g)
+			s.Pos[c.i] = s.Pos[c.i].Sub(corr.Scale(invMi))
+			s.Pos[c.j] = s.Pos[c.j].Add(corr.Scale(invMj))
+			s.Vel[c.i] = s.Vel[c.i].Sub(corr.Scale(invMi / dt))
+			s.Vel[c.j] = s.Vel[c.j].Add(corr.Scale(invMj / dt))
+		}
+		if converged {
+			return nil
+		}
+	}
+	return fmt.Errorf("md: SHAKE did not converge in %d iterations", shakeMaxIters)
+}
+
+// rattleVelocities removes the velocity components along each constraint
+// (the RATTLE velocity pass after the second half-kick).
+func (s *System) rattleVelocities() error {
+	cons := s.constraints()
+	for iter := 0; iter < shakeMaxIters; iter++ {
+		converged := true
+		for _, c := range cons {
+			r := s.Pos[c.i].Sub(s.Pos[c.j])
+			dv := s.Vel[c.i].Sub(s.Vel[c.j])
+			rv := r.Dot(dv)
+			if math.Abs(rv) <= shakeTol*c.d*c.d {
+				continue
+			}
+			converged = false
+			invMi := 1 / s.Mass[c.i]
+			invMj := 1 / s.Mass[c.j]
+			k := rv / ((invMi + invMj) * c.d * c.d)
+			s.Vel[c.i] = s.Vel[c.i].Sub(r.Scale(k * invMi))
+			s.Vel[c.j] = s.Vel[c.j].Add(r.Scale(k * invMj))
+		}
+		if converged {
+			return nil
+		}
+	}
+	return fmt.Errorf("md: RATTLE did not converge in %d iterations", shakeMaxIters)
+}
+
+// MaxConstraintViolation returns the largest relative deviation of any
+// constraint distance, a diagnostic used by the invariant tests.
+func (s *System) MaxConstraintViolation() float64 {
+	worst := 0.0
+	for _, c := range s.constraints() {
+		r := s.Pos[c.i].Sub(s.Pos[c.j]).Norm()
+		if dev := math.Abs(r-c.d) / c.d; dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}

@@ -1,0 +1,104 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EnergyStats accumulates total-energy fluctuation statistics over an NVT
+// trajectory, yielding the constant-volume heat capacity via the canonical
+// fluctuation formula Cv = Var(E) / (kB T^2) — one of the "thermodynamically
+// averaged properties" whose slow convergence motivates the paper's noise
+// model (the per-sample estimate carries exactly the decaying sampling error
+// of eq 1.2).
+type EnergyStats struct {
+	n    int
+	mean float64
+	m2   float64
+	tSum float64
+}
+
+// Record folds one frame's total energy and temperature in.
+func (e *EnergyStats) Record(s *System) {
+	en := s.TotalEnergy()
+	e.n++
+	d := en - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (en - e.mean)
+	e.tSum += s.Temperature()
+}
+
+// Frames returns the number of recorded frames.
+func (e *EnergyStats) Frames() int { return e.n }
+
+// MeanEnergy returns the average total energy (kcal/mol).
+func (e *EnergyStats) MeanEnergy() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.mean
+}
+
+// HeatCapacity returns Cv in kcal/(mol*K) from the energy fluctuations, or
+// zero with fewer than two frames.
+func (e *EnergyStats) HeatCapacity() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	variance := e.m2 / float64(e.n-1)
+	tAvg := e.tSum / float64(e.n)
+	if tAvg <= 0 {
+		return 0
+	}
+	return variance / (Boltzmann * tAvg * tAvg)
+}
+
+// WriteXYZ appends one frame in XYZ format (O/H element symbols, positions
+// wrapped into the primary cell) — the interchange format the Chapter-4
+// run.sh phases of a real deployment would consume.
+func (s *System) WriteXYZ(w io.Writer, comment string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n%s box=%.4f\n", s.N*SitesPerMol, comment, s.Box.L)
+	names := [SitesPerMol]string{"O", "H", "H"}
+	for m := 0; m < s.N; m++ {
+		for site := 0; site < SitesPerMol; site++ {
+			p := s.Box.Wrap(s.Pos[m*SitesPerMol+site])
+			fmt.Fprintf(bw, "%-2s %12.6f %12.6f %12.6f\n", names[site], p.X, p.Y, p.Z)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ parses one XYZ frame written by WriteXYZ back into positions
+// (molecule count must match the system). Velocities are untouched.
+func (s *System) ReadXYZ(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var count int
+	if _, err := fmt.Fscanf(br, "%d\n", &count); err != nil {
+		return fmt.Errorf("md: XYZ header: %w", err)
+	}
+	if count != s.N*SitesPerMol {
+		return fmt.Errorf("md: XYZ has %d sites, system has %d", count, s.N*SitesPerMol)
+	}
+	if _, err := br.ReadString('\n'); err != nil {
+		return fmt.Errorf("md: XYZ comment: %w", err)
+	}
+	for i := 0; i < count; i++ {
+		var name string
+		var x, y, z float64
+		if _, err := fmt.Fscanf(br, "%s %f %f %f\n", &name, &x, &y, &z); err != nil {
+			return fmt.Errorf("md: XYZ site %d: %w", i, err)
+		}
+		s.Pos[i] = Vec3{x, y, z}
+	}
+	s.UpdateMSites()
+	return nil
+}
+
+// Densities returns the instantaneous mass density in g/cm^3 implied by the
+// box and molecule count (constant in NVT/NVE, useful as a config check).
+func (s *System) Density() float64 {
+	// rho = N*M / (V * NA) with V in A^3: g/cm^3 = N*M / (V * 0.60221408).
+	return float64(s.N) * WaterMolarMass / (s.Box.Volume() * 0.60221408)
+}

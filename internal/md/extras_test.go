@@ -1,0 +1,90 @@
+package md
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEnergyStatsConstantEnergy(t *testing.T) {
+	s := buildSystem(t, 8, 20)
+	var es EnergyStats
+	s.ComputeForces()
+	for i := 0; i < 5; i++ {
+		es.Record(s) // identical frames: zero variance
+	}
+	if es.Frames() != 5 {
+		t.Fatalf("frames = %d", es.Frames())
+	}
+	if cv := es.HeatCapacity(); cv != 0 {
+		t.Fatalf("Cv of constant energy = %v, want 0", cv)
+	}
+	if math.Abs(es.MeanEnergy()-s.TotalEnergy()) > 1e-9 {
+		t.Fatalf("mean energy = %v, want %v", es.MeanEnergy(), s.TotalEnergy())
+	}
+}
+
+func TestHeatCapacityPlausibleForWater(t *testing.T) {
+	s := buildSystem(t, 27, 21)
+	s.ComputeForces()
+	// Short NVT trajectory with a weak thermostat so energy fluctuates.
+	var es EnergyStats
+	for step := 0; step < 400; step++ {
+		if err := s.Step(1.0); err != nil {
+			t.Fatal(err)
+		}
+		s.BerendsenRescale(298, 400, 1.0)
+		if step%5 == 4 {
+			es.Record(s)
+		}
+	}
+	cv := es.HeatCapacity() / float64(s.N) // per molecule
+	// Water's Cv ~ 18 cal/(mol K) = 0.018 kcal/(mol K); a short noisy run
+	// lands within an order of magnitude.
+	if cv <= 0 || cv > 1 {
+		t.Fatalf("Cv per molecule = %v kcal/mol/K implausible", cv)
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	s := buildSystem(t, 8, 22)
+	var buf bytes.Buffer
+	if err := s.WriteXYZ(&buf, "frame 0"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "24\n") {
+		t.Fatalf("header: %q", out[:10])
+	}
+	if strings.Count(out, "\n") != 2+24 {
+		t.Fatalf("line count wrong")
+	}
+
+	// Read the frame into a second system; wrapped positions must match.
+	s2 := buildSystem(t, 8, 23)
+	if err := s2.ReadXYZ(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Pos {
+		a := s.Box.Wrap(s.Pos[i])
+		b := s2.Pos[i]
+		if a.Sub(b).Norm() > 1e-5 {
+			t.Fatalf("site %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReadXYZCountMismatch(t *testing.T) {
+	s := buildSystem(t, 8, 24)
+	if err := s.ReadXYZ(strings.NewReader("3\nc\nO 0 0 0\nH 1 0 0\nH 0 1 0\n")); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestDensityMatchesConfig(t *testing.T) {
+	s := buildSystem(t, 64, 25)
+	if rho := s.Density(); math.Abs(rho-0.997) > 1e-6 {
+		t.Fatalf("density = %v, want 0.997", rho)
+	}
+}

@@ -1,0 +1,276 @@
+package md
+
+import "math"
+
+// chargedSite enumerates the charge-bearing sites used in the Coulomb sum:
+// H1, H2 and the virtual M site.
+type chargedSite struct {
+	mol   int
+	kind  int // SiteH1, SiteH2, or siteM
+	pos   Vec3
+	q     float64
+	index int // material-site index for H's; -1 for M
+}
+
+const siteM = 3
+
+// ComputeForces evaluates the TIP4P force field: O-O Lennard-Jones with a
+// shifted-force cutoff plus damped shifted-force (DSF/Wolf) Coulomb between
+// the charged sites of distinct molecules. It fills Force, Potential and
+// Virial. Forces on the massless M site are redistributed onto O, H1, H2
+// through the virtual-site projection.
+//
+// The virial is accumulated in the molecular form — each site-site force is
+// dotted with the minimum-image separation of the two molecules' centers of
+// mass rather than of the sites — which implicitly accounts for the rigid
+// constraint forces, the standard treatment for rigid-molecule pressure.
+func (s *System) ComputeForces() {
+	for i := range s.Force {
+		s.Force[i] = Vec3{}
+	}
+	s.Potential = 0
+	s.Virial = 0
+	s.UpdateMSites()
+
+	coms := make([]Vec3, s.N)
+	for m := 0; m < s.N; m++ {
+		coms[m] = s.COM(m)
+	}
+	molVirial := func(mi, mj int, f Vec3) {
+		s.Virial += f.Dot(s.Box.MinImage(coms[mi].Sub(coms[mj])))
+	}
+
+	mForce := make([]Vec3, s.N) // accumulated forces on M sites
+
+	eps := s.Model.EpsilonOO
+	sigma := s.Model.SigmaOO
+	rc := s.Cutoff
+	rc2 := rc * rc
+
+	// Shifted-force LJ constants: F(rc) and U(rc).
+	ljFrc, ljUrc := ljRaw(rc, eps, sigma)
+
+	// DSF Coulomb constants.
+	alpha := s.Alpha
+	erfcRc := math.Erfc(alpha * rc)
+	expRc := math.Exp(-alpha * alpha * rc * rc)
+	twoAlphaPi := 2 * alpha / math.Sqrt(math.Pi)
+	// Force magnitude shift term (per unit q1q2, times CoulombConst below):
+	dsfFShift := erfcRc/rc2 + twoAlphaPi*expRc/rc
+	dsfUShift := erfcRc / rc
+
+	// O-O Lennard-Jones over molecule pairs.
+	s.forEachMolPair(func(mi, mj int) {
+		oi := mi*SitesPerMol + SiteO
+		oj := mj*SitesPerMol + SiteO
+		d := s.Box.MinImage(s.Pos[oi].Sub(s.Pos[oj]))
+		r2 := d.Norm2()
+		if r2 >= rc2 || r2 == 0 {
+			return
+		}
+		r := math.Sqrt(r2)
+		fmag, u := ljRaw(r, eps, sigma)
+		// Shifted force: F' = F - F(rc); U' = U - U(rc) + (r - rc) F(rc).
+		fsf := fmag - ljFrc
+		usf := u - ljUrc + (r-rc)*ljFrc
+		f := d.Scale(fsf / r)
+		s.Force[oi] = s.Force[oi].Add(f)
+		s.Force[oj] = s.Force[oj].Sub(f)
+		s.Potential += usf
+		molVirial(mi, mj, f)
+	})
+
+	// Coulomb between charged sites of distinct molecules.
+	qH := s.Model.QH
+	qM := s.Model.QM()
+	sites := make([]chargedSite, 0, 3*s.N)
+	for m := 0; m < s.N; m++ {
+		b := m * SitesPerMol
+		sites = append(sites,
+			chargedSite{mol: m, kind: SiteH1, pos: s.Pos[b+SiteH1], q: qH, index: b + SiteH1},
+			chargedSite{mol: m, kind: SiteH2, pos: s.Pos[b+SiteH2], q: qH, index: b + SiteH2},
+			chargedSite{mol: m, kind: siteM, pos: s.MPos[m], q: qM, index: -1},
+		)
+	}
+	applyForce := func(cs chargedSite, f Vec3) {
+		if cs.index >= 0 {
+			s.Force[cs.index] = s.Force[cs.index].Add(f)
+		} else {
+			mForce[cs.mol] = mForce[cs.mol].Add(f)
+		}
+	}
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			a, b := sites[i], sites[j]
+			if a.mol == b.mol {
+				continue // rigid intramolecular geometry carries no force
+			}
+			d := s.Box.MinImage(a.pos.Sub(b.pos))
+			r2 := d.Norm2()
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			qq := CoulombConst * a.q * b.q
+			erfcR := math.Erfc(alpha * r)
+			// DSF potential and force magnitude.
+			u := qq * (erfcR/r - dsfUShift + dsfFShift*(r-rc))
+			fmag := qq * (erfcR/r2 + twoAlphaPi*math.Exp(-alpha*alpha*r2)/r - dsfFShift)
+			f := d.Scale(fmag / r)
+			applyForce(a, f)
+			applyForce(b, f.Scale(-1))
+			s.Potential += u
+			molVirial(a.mol, b.mol, f)
+		}
+	}
+
+	// Redistribute M-site forces onto the material sites: for the linear
+	// construction rM = (1-gamma) rO + gamma/2 (rH1 + rH2), the chain rule
+	// gives FO += (1-gamma) FM, FH += gamma/2 FM.
+	gamma := s.Model.MSiteGamma()
+	for m := 0; m < s.N; m++ {
+		fm := mForce[m]
+		if fm == (Vec3{}) {
+			continue
+		}
+		b := m * SitesPerMol
+		s.Force[b+SiteO] = s.Force[b+SiteO].Add(fm.Scale(1 - gamma))
+		s.Force[b+SiteH1] = s.Force[b+SiteH1].Add(fm.Scale(gamma / 2))
+		s.Force[b+SiteH2] = s.Force[b+SiteH2].Add(fm.Scale(gamma / 2))
+	}
+}
+
+// ljRaw returns the unshifted Lennard-Jones force magnitude (dU/dr negated)
+// and potential at separation r.
+func ljRaw(r, eps, sigma float64) (fmag, u float64) {
+	sr := sigma / r
+	sr2 := sr * sr
+	sr6 := sr2 * sr2 * sr2
+	sr12 := sr6 * sr6
+	u = 4 * eps * (sr12 - sr6)
+	fmag = 24 * eps * (2*sr12 - sr6) / r
+	return fmag, u
+}
+
+// TranslationalKE returns the center-of-mass translational kinetic energy in
+// kcal/mol — the kinetic contribution to the molecular pressure.
+func (s *System) TranslationalKE() float64 {
+	ke := 0.0
+	for m := 0; m < s.N; m++ {
+		b := m * SitesPerMol
+		var p Vec3
+		mTot := 0.0
+		for site := 0; site < SitesPerMol; site++ {
+			p = p.Add(s.Vel[b+site].Scale(s.Mass[b+site]))
+			mTot += s.Mass[b+site]
+		}
+		ke += 0.5 * p.Norm2() / mTot
+	}
+	return ke / KcalPerMolToInternal
+}
+
+// TailCorrections returns the standard homogeneous-fluid Lennard-Jones
+// long-range corrections beyond the cutoff: the total energy correction
+// (kcal/mol) and the pressure correction (kcal/mol/A^3). They assume plain
+// truncation, a good approximation to the shifted-force potential actually
+// integrated.
+func (s *System) TailCorrections() (uTail, pTail float64) {
+	eps := s.Model.EpsilonOO
+	sigma := s.Model.SigmaOO
+	rc := s.Cutoff
+	rho := float64(s.N) / s.Box.Volume()
+	sr3 := sigma * sigma * sigma / (rc * rc * rc)
+	sr9 := sr3 * sr3 * sr3
+	sig3 := sigma * sigma * sigma
+	uTail = 8 * math.Pi / 3 * float64(s.N) * rho * eps * sig3 * (sr9/3 - sr3)
+	pTail = 16 * math.Pi / 3 * rho * rho * eps * sig3 * (2*sr9/3 - sr3)
+	return uTail, pTail
+}
+
+// Pressure returns the instantaneous pressure in atmospheres from the
+// molecular virial: P = (2 K_trans + W) / (3V) + P_tail.
+func (s *System) Pressure() float64 {
+	k := s.TranslationalKE()
+	_, pTail := s.TailCorrections()
+	return ((2*k+s.Virial)/(3*s.Box.Volume()) + pTail) * PressureToAtm
+}
+
+// forEachMolPair visits every unordered molecule pair, using a cell list
+// when the box is large enough (at least 3 cells per side at the cutoff)
+// and the direct O(N^2) loop otherwise.
+func (s *System) forEachMolPair(visit func(mi, mj int)) {
+	cells := int(s.Box.L / s.Cutoff)
+	if cells < 3 {
+		for i := 0; i < s.N; i++ {
+			for j := i + 1; j < s.N; j++ {
+				visit(i, j)
+			}
+		}
+		return
+	}
+	s.cellListPairs(cells, visit)
+}
+
+// cellListPairs bins molecules by wrapped oxygen position and visits pairs in
+// the same or neighbouring cells. Cell size >= cutoff guarantees coverage of
+// all in-range pairs.
+func (s *System) cellListPairs(cells int, visit func(mi, mj int)) {
+	cellOf := func(mol int) (int, int, int) {
+		p := s.Box.Wrap(s.Pos[mol*SitesPerMol+SiteO])
+		w := s.Box.L / float64(cells)
+		cx := int(p.X / w)
+		cy := int(p.Y / w)
+		cz := int(p.Z / w)
+		clamp := func(c int) int {
+			if c < 0 {
+				return 0
+			}
+			if c >= cells {
+				return cells - 1
+			}
+			return c
+		}
+		return clamp(cx), clamp(cy), clamp(cz)
+	}
+	bins := make(map[[3]int][]int, cells*cells*cells)
+	for m := 0; m < s.N; m++ {
+		cx, cy, cz := cellOf(m)
+		key := [3]int{cx, cy, cz}
+		bins[key] = append(bins[key], m)
+	}
+	mod := func(a int) int { return ((a % cells) + cells) % cells }
+	for key, members := range bins {
+		// Pairs within the cell.
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				visit(members[i], members[j])
+			}
+		}
+		// Pairs with half the neighbouring cells (13 of 26) so each pair is
+		// visited once.
+		for _, off := range halfNeighbours {
+			nkey := [3]int{mod(key[0] + off[0]), mod(key[1] + off[1]), mod(key[2] + off[2])}
+			if nkey == key {
+				continue // small cell counts can alias onto self
+			}
+			for _, a := range members {
+				for _, b := range bins[nkey] {
+					if a < b {
+						visit(a, b)
+					} else {
+						visit(b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// halfNeighbours enumerates 13 of the 26 neighbour offsets such that every
+// unordered cell pair appears exactly once.
+var halfNeighbours = [][3]int{
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+	{0, 1, 1}, {0, 1, -1},
+	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+}

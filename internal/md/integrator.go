@@ -1,0 +1,54 @@
+package md
+
+import "math"
+
+// Step advances the system by one velocity-Verlet timestep of dt
+// femtoseconds with SHAKE/RATTLE constraints. Forces must be current on
+// entry (call ComputeForces once before the first Step); they are current on
+// return.
+func (s *System) Step(dt float64) error {
+	// Half kick + drift.
+	prev := make([]Vec3, len(s.Pos))
+	copy(prev, s.Pos)
+	for i := range s.Pos {
+		acc := s.Force[i].Scale(KcalPerMolToInternal / s.Mass[i])
+		s.Vel[i] = s.Vel[i].Add(acc.Scale(dt / 2))
+		s.Pos[i] = s.Pos[i].Add(s.Vel[i].Scale(dt))
+	}
+	if err := s.shake(prev, dt); err != nil {
+		return err
+	}
+
+	// New forces, second half kick, velocity constraints.
+	s.ComputeForces()
+	for i := range s.Vel {
+		acc := s.Force[i].Scale(KcalPerMolToInternal / s.Mass[i])
+		s.Vel[i] = s.Vel[i].Add(acc.Scale(dt / 2))
+	}
+	return s.rattleVelocities()
+}
+
+// BerendsenRescale applies one Berendsen-thermostat velocity rescaling
+// toward target temperature T0 with coupling time tau (both in the system's
+// units; tau in fs).
+func (s *System) BerendsenRescale(T0, tau, dt float64) {
+	T := s.Temperature()
+	if T <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + dt/tau*(T0/T-1))
+	// Clamp extreme rescalings during the first steps of a bad start.
+	if lambda > 1.2 {
+		lambda = 1.2
+	}
+	if lambda < 0.8 {
+		lambda = 0.8
+	}
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(lambda)
+	}
+}
+
+// TotalEnergy returns kinetic + potential energy in kcal/mol (forces must be
+// current so Potential is valid).
+func (s *System) TotalEnergy() float64 { return s.KineticEnergy() + s.Potential }

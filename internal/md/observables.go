@@ -1,0 +1,196 @@
+package md
+
+import (
+	"fmt"
+	"math"
+)
+
+// RDF accumulates a radial distribution function between two site kinds
+// over multiple frames.
+type RDF struct {
+	// RMax is the histogram range (at most half the box).
+	RMax float64
+	// Bins is the bin count.
+	Bins int
+
+	counts []float64
+	frames int
+	// pairsA/pairsB are the site counts of each species per frame, and
+	// sameKind marks an A-A RDF (half the pairs).
+	nA, nB   int
+	sameKind bool
+	volume   float64
+}
+
+// SitePair selects which RDF to accumulate.
+type SitePair int
+
+// The three RDFs entering the paper's cost function (eq 3.4).
+const (
+	PairOO SitePair = iota
+	PairOH
+	PairHH
+)
+
+// String implements fmt.Stringer.
+func (p SitePair) String() string {
+	switch p {
+	case PairOO:
+		return "gOO"
+	case PairOH:
+		return "gOH"
+	case PairHH:
+		return "gHH"
+	default:
+		return fmt.Sprintf("SitePair(%d)", int(p))
+	}
+}
+
+// NewRDF creates an accumulator with rmax capped at half the box edge.
+func NewRDF(s *System, bins int) *RDF {
+	return &RDF{RMax: s.Box.L / 2, Bins: bins, counts: make([]float64, bins)}
+}
+
+// Accumulate adds the pair histogram of the current frame.
+func (r *RDF) Accumulate(s *System, pair SitePair) {
+	sitesA, sitesB, same := rdfSites(s, pair)
+	r.nA, r.nB, r.sameKind = len(sitesA), len(sitesB), same
+	r.volume = s.Box.Volume()
+	dr := r.RMax / float64(r.Bins)
+	add := func(pi, pj Vec3) {
+		d := s.Box.MinImage(pi.Sub(pj)).Norm()
+		if d >= r.RMax || d == 0 {
+			return
+		}
+		r.counts[int(d/dr)]++
+	}
+	if same {
+		for i := 0; i < len(sitesA); i++ {
+			for j := i + 1; j < len(sitesA); j++ {
+				add(sitesA[i], sitesA[j])
+			}
+		}
+	} else {
+		for _, a := range sitesA {
+			for _, b := range sitesB {
+				add(a, b)
+			}
+		}
+	}
+	r.frames++
+}
+
+func rdfSites(s *System, pair SitePair) (a, b []Vec3, same bool) {
+	var os, hs []Vec3
+	for m := 0; m < s.N; m++ {
+		base := m * SitesPerMol
+		os = append(os, s.Pos[base+SiteO])
+		hs = append(hs, s.Pos[base+SiteH1], s.Pos[base+SiteH2])
+	}
+	switch pair {
+	case PairOO:
+		return os, os, true
+	case PairOH:
+		return os, hs, false
+	case PairHH:
+		return hs, hs, true
+	default:
+		panic("md: unknown site pair")
+	}
+}
+
+// Curve returns the bin centers and the normalized g(r): the observed pair
+// density divided by the ideal-gas expectation.
+func (r *RDF) Curve() (rs, g []float64) {
+	rs = make([]float64, r.Bins)
+	g = make([]float64, r.Bins)
+	if r.frames == 0 {
+		return rs, g
+	}
+	dr := r.RMax / float64(r.Bins)
+	var npairs float64
+	if r.sameKind {
+		npairs = float64(r.nA) * float64(r.nA-1) / 2
+	} else {
+		npairs = float64(r.nA) * float64(r.nB)
+	}
+	for k := 0; k < r.Bins; k++ {
+		rc := (float64(k) + 0.5) * dr
+		rs[k] = rc
+		shellVol := 4 * math.Pi * rc * rc * dr
+		ideal := npairs * shellVol / r.volume
+		if ideal > 0 {
+			g[k] = r.counts[k] / (float64(r.frames) * ideal)
+		}
+	}
+	return rs, g
+}
+
+// RMSDeviation computes the paper's RDF residual (eq 3.5): the
+// root-mean-square difference between this g(r) and a reference curve,
+// evaluated over [rmin, rmax]. ref must be sampled on the same bins.
+func (r *RDF) RMSDeviation(refG []float64, rmin, rmax float64) float64 {
+	rs, g := r.Curve()
+	sum, n := 0.0, 0
+	for k := range rs {
+		if rs[k] < rmin || rs[k] > rmax || k >= len(refG) {
+			continue
+		}
+		d := g[k] - refG[k]
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MSD tracks mean-square displacement of molecular centers of mass on
+// unwrapped coordinates, for the self-diffusion coefficient.
+type MSD struct {
+	origin []Vec3
+	times  []float64
+	msds   []float64
+}
+
+// NewMSD captures the origin frame.
+func NewMSD(s *System) *MSD {
+	m := &MSD{origin: make([]Vec3, s.N)}
+	for i := 0; i < s.N; i++ {
+		m.origin[i] = s.COM(i)
+	}
+	return m
+}
+
+// Record appends the MSD at elapsed time t (fs).
+func (m *MSD) Record(s *System, t float64) {
+	sum := 0.0
+	for i := 0; i < s.N; i++ {
+		sum += s.COM(i).Sub(m.origin[i]).Norm2()
+	}
+	m.times = append(m.times, t)
+	m.msds = append(m.msds, sum/float64(s.N))
+}
+
+// Diffusion returns the self-diffusion coefficient in cm^2/s from the
+// Einstein relation MSD = 6 D t, fit by least squares over the second half
+// of the recorded trajectory (the diffusive regime).
+func (m *MSD) Diffusion() float64 {
+	n := len(m.times)
+	if n < 4 {
+		return 0
+	}
+	lo := n / 2
+	// Least squares slope through the origin-shifted points.
+	var sxx, sxy float64
+	for i := lo; i < n; i++ {
+		sxx += m.times[i] * m.times[i]
+		sxy += m.times[i] * m.msds[i]
+	}
+	if sxx == 0 {
+		return 0
+	}
+	slope := sxy / sxx // A^2/fs
+	return slope / 6 * A2PerFsToCm2PerS
+}

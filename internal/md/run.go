@@ -1,0 +1,104 @@
+package md
+
+import "fmt"
+
+// RunConfig describes the two-phase simulation protocol of section 3.5: an
+// NVT equilibration at the target temperature followed by an NVE production
+// run from which properties are measured.
+type RunConfig struct {
+	// Dt is the timestep in fs (0 selects 1.0).
+	Dt float64
+	// EquilSteps is the NVT equilibration length.
+	EquilSteps int
+	// ProdSteps is the NVE production length.
+	ProdSteps int
+	// T is the target temperature in kelvin (0 selects 298).
+	T float64
+	// Tau is the Berendsen coupling time in fs (0 selects 100).
+	Tau float64
+	// SampleEvery sets the production sampling stride (0 selects 10).
+	SampleEvery int
+	// RDFBins sets the RDF resolution (0 selects 100).
+	RDFBins int
+}
+
+// Properties are the measured equilibrium averages entering the cost
+// function of eq 3.4.
+type Properties struct {
+	// EnergyKJPerMol is the average potential energy per molecule (kJ/mol).
+	EnergyKJPerMol float64
+	// PressureAtm is the average virial pressure (atm).
+	PressureAtm float64
+	// DiffusionCm2PerS is the self-diffusion coefficient (cm^2/s).
+	DiffusionCm2PerS float64
+	// TemperatureK is the average production temperature.
+	TemperatureK float64
+	// GOO, GOH, GHH are the sampled radial distribution functions.
+	GOO, GOH, GHH *RDF
+	// Frames is the number of production samples taken.
+	Frames int
+}
+
+// Run executes the NVT equilibration + NVE production protocol and returns
+// the measured properties.
+func (s *System) Run(cfg RunConfig) (*Properties, error) {
+	if cfg.Dt == 0 {
+		cfg.Dt = 1.0
+	}
+	if cfg.T == 0 {
+		cfg.T = 298
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 100
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 10
+	}
+	if cfg.RDFBins == 0 {
+		cfg.RDFBins = 100
+	}
+
+	s.ComputeForces()
+
+	// Phase 1: NVT equilibration with Berendsen rescaling.
+	for step := 0; step < cfg.EquilSteps; step++ {
+		if err := s.Step(cfg.Dt); err != nil {
+			return nil, fmt.Errorf("md: equilibration step %d: %w", step, err)
+		}
+		s.BerendsenRescale(cfg.T, cfg.Tau, cfg.Dt)
+	}
+	s.RemoveDrift()
+
+	// Phase 2: NVE production with sampling.
+	props := &Properties{
+		GOO: NewRDF(s, cfg.RDFBins),
+		GOH: NewRDF(s, cfg.RDFBins),
+		GHH: NewRDF(s, cfg.RDFBins),
+	}
+	msd := NewMSD(s)
+	var uSum, pSum, tSum float64
+	for step := 0; step < cfg.ProdSteps; step++ {
+		if err := s.Step(cfg.Dt); err != nil {
+			return nil, fmt.Errorf("md: production step %d: %w", step, err)
+		}
+		if (step+1)%cfg.SampleEvery == 0 {
+			uSum += s.Potential
+			pSum += s.Pressure()
+			tSum += s.Temperature()
+			props.GOO.Accumulate(s, PairOO)
+			props.GOH.Accumulate(s, PairOH)
+			props.GHH.Accumulate(s, PairHH)
+			msd.Record(s, float64(step+1)*cfg.Dt)
+			props.Frames++
+		}
+	}
+	if props.Frames > 0 {
+		n := float64(props.Frames)
+		uTail, _ := s.TailCorrections()
+		props.EnergyKJPerMol = (uSum/n + uTail) / float64(s.N) * KcalToKJ
+		props.PressureAtm = pSum / n
+		props.TemperatureK = tSum / n
+	}
+	props.DiffusionCm2PerS = msd.Diffusion()
+	return props, nil
+}

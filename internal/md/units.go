@@ -1,0 +1,33 @@
+package md
+
+// Unit-system constants (angstrom / femtosecond / amu / kcal/mol / e).
+const (
+	// KcalPerMolToInternal converts kcal/mol to amu*A^2/fs^2, so that
+	// acceleration [A/fs^2] = force [kcal/mol/A] * KcalPerMolToInternal /
+	// mass [amu].
+	KcalPerMolToInternal = 4.184e-4
+
+	// Boltzmann is kB in kcal/(mol*K).
+	Boltzmann = 0.0019872041
+
+	// CoulombConst is Coulomb's constant in kcal*A/(mol*e^2):
+	// E = CoulombConst * q1*q2 / r.
+	CoulombConst = 332.06371
+
+	// PressureToAtm converts kcal/(mol*A^3) to atmospheres.
+	PressureToAtm = 68568.415
+
+	// KcalToKJ converts kcal to kJ.
+	KcalToKJ = 4.184
+
+	// A2PerFsToCm2PerS converts a diffusion coefficient from A^2/fs to
+	// cm^2/s.
+	A2PerFsToCm2PerS = 0.1
+
+	// MassO and MassH are atomic masses in amu.
+	MassO = 15.9994
+	MassH = 1.008
+
+	// WaterMolarMass is the molar mass of H2O in g/mol.
+	WaterMolarMass = MassO + 2*MassH
+)

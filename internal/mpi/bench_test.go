@@ -1,0 +1,84 @@
+package mpi
+
+import "testing"
+
+func BenchmarkBufferPackUnpack(b *testing.B) {
+	payload := make([]float64, 64)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := NewBuffer()
+		buf.PackInt(i)
+		buf.PackFloats(payload)
+		rb := NewBufferFrom(buf.Bytes())
+		if _, err := rb.UnpackInt(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rb.UnpackFloats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	w := NewWorld(2)
+	defer w.Close()
+	go func() {
+		c := w.Comm(1)
+		for {
+			m, err := c.Recv(0, 1)
+			if err != nil {
+				return
+			}
+			_ = c.Send(0, 2, m.Buf)
+		}
+	}()
+	c0 := w.Comm(0)
+	payload := NewBuffer()
+	payload.PackFloat(3.14)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c0.Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFanInThroughput(b *testing.B) {
+	const senders = 4
+	w := NewWorld(senders + 1)
+	defer w.Close()
+	stop := make(chan struct{})
+	for s := 1; s <= senders; s++ {
+		go func(rank int) {
+			c := w.Comm(rank)
+			buf := NewBuffer()
+			buf.PackInt(rank)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if c.Send(0, 1, buf) != nil {
+					return
+				}
+			}
+		}(s)
+	}
+	c0 := w.Comm(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c0.Recv(AnySource, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+}

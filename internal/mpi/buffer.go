@@ -1,0 +1,156 @@
+// Package mpi is an in-memory message-passing substrate standing in for the
+// MPI layer of the paper's deployment (section 4.2: "we use MPI communication
+// between master and workers"). It reproduces the communication semantics the
+// MW framework relies on — rank-addressed, tagged, ordered point-to-point
+// messages with pack/unpack marshalling (the MWRMComm virtual functions
+// pack/unpack/send/recv) — with goroutines playing the role of processes.
+//
+// The substitution preserves the relevant behaviour because the optimization
+// framework only requires asynchronous task farming over ordered channels;
+// the paper itself observes that "communication costs are low while
+// computation costs are high", so the transport's absolute latency is
+// irrelevant to every reported experiment.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Marshalling errors.
+var (
+	// ErrBufferUnderflow is returned when an Unpack reads past the end of
+	// the packed data.
+	ErrBufferUnderflow = errors.New("mpi: buffer underflow")
+)
+
+// Buffer is a pack/unpack marshalling buffer in the style of MWRMComm. Data
+// must be unpacked in the order it was packed; there are no type tags, as in
+// real MPI packing.
+type Buffer struct {
+	data []byte
+	pos  int
+}
+
+// NewBuffer returns an empty buffer ready for packing.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// NewBufferFrom wraps existing packed bytes for unpacking. The buffer takes
+// ownership of the slice.
+func NewBufferFrom(data []byte) *Buffer { return &Buffer{data: data} }
+
+// Bytes returns the packed bytes. The caller must not modify them while the
+// buffer is in use.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the number of packed bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Remaining returns the number of unread bytes.
+func (b *Buffer) Remaining() int { return len(b.data) - b.pos }
+
+// Rewind resets the read cursor so the buffer can be unpacked again.
+func (b *Buffer) Rewind() { b.pos = 0 }
+
+// PackInt appends a 64-bit integer.
+func (b *Buffer) PackInt(v int) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(v))
+	b.data = append(b.data, tmp[:]...)
+}
+
+// UnpackInt reads the next integer.
+func (b *Buffer) UnpackInt() (int, error) {
+	if b.Remaining() < 8 {
+		return 0, ErrBufferUnderflow
+	}
+	v := int(binary.BigEndian.Uint64(b.data[b.pos:]))
+	b.pos += 8
+	return v, nil
+}
+
+// PackFloat appends a float64.
+func (b *Buffer) PackFloat(v float64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+	b.data = append(b.data, tmp[:]...)
+}
+
+// UnpackFloat reads the next float64.
+func (b *Buffer) UnpackFloat() (float64, error) {
+	if b.Remaining() < 8 {
+		return 0, ErrBufferUnderflow
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(b.data[b.pos:]))
+	b.pos += 8
+	return v, nil
+}
+
+// PackFloats appends a length-prefixed float64 slice.
+func (b *Buffer) PackFloats(vs []float64) {
+	b.PackInt(len(vs))
+	for _, v := range vs {
+		b.PackFloat(v)
+	}
+}
+
+// UnpackFloats reads a length-prefixed float64 slice.
+func (b *Buffer) UnpackFloats() ([]float64, error) {
+	n, err := b.UnpackInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || b.Remaining() < 8*n {
+		return nil, ErrBufferUnderflow
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i], err = b.UnpackFloat()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+// PackString appends a length-prefixed string.
+func (b *Buffer) PackString(s string) {
+	b.PackInt(len(s))
+	b.data = append(b.data, s...)
+}
+
+// UnpackString reads a length-prefixed string.
+func (b *Buffer) UnpackString() (string, error) {
+	n, err := b.UnpackInt()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 || b.Remaining() < n {
+		return "", ErrBufferUnderflow
+	}
+	s := string(b.data[b.pos : b.pos+n])
+	b.pos += n
+	return s, nil
+}
+
+// PackBool appends a boolean.
+func (b *Buffer) PackBool(v bool) {
+	if v {
+		b.PackInt(1)
+	} else {
+		b.PackInt(0)
+	}
+}
+
+// UnpackBool reads a boolean.
+func (b *Buffer) UnpackBool() (bool, error) {
+	n, err := b.UnpackInt()
+	return n != 0, err
+}
+
+// String renders a short debug summary.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("mpi.Buffer{len=%d, pos=%d}", len(b.data), b.pos)
+}

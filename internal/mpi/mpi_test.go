@@ -1,0 +1,308 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt(-42)
+	b.PackFloat(3.14159)
+	b.PackFloats([]float64{1, 2, 3})
+	b.PackString("hello")
+	b.PackBool(true)
+	b.PackBool(false)
+
+	rb := NewBufferFrom(b.Bytes())
+	if v, err := rb.UnpackInt(); err != nil || v != -42 {
+		t.Fatalf("UnpackInt = %v, %v", v, err)
+	}
+	if v, err := rb.UnpackFloat(); err != nil || v != 3.14159 {
+		t.Fatalf("UnpackFloat = %v, %v", v, err)
+	}
+	if vs, err := rb.UnpackFloats(); err != nil || len(vs) != 3 || vs[2] != 3 {
+		t.Fatalf("UnpackFloats = %v, %v", vs, err)
+	}
+	if s, err := rb.UnpackString(); err != nil || s != "hello" {
+		t.Fatalf("UnpackString = %q, %v", s, err)
+	}
+	if v, err := rb.UnpackBool(); err != nil || !v {
+		t.Fatalf("UnpackBool = %v, %v", v, err)
+	}
+	if v, err := rb.UnpackBool(); err != nil || v {
+		t.Fatalf("UnpackBool = %v, %v", v, err)
+	}
+	if rb.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", rb.Remaining())
+	}
+}
+
+func TestBufferUnderflow(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt(1)
+	rb := NewBufferFrom(b.Bytes())
+	if _, err := rb.UnpackInt(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.UnpackInt(); err != ErrBufferUnderflow {
+		t.Fatalf("expected underflow, got %v", err)
+	}
+	if _, err := rb.UnpackFloat(); err != ErrBufferUnderflow {
+		t.Fatalf("expected underflow, got %v", err)
+	}
+	if _, err := rb.UnpackString(); err != ErrBufferUnderflow {
+		t.Fatalf("expected underflow, got %v", err)
+	}
+}
+
+func TestBufferRewind(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt(7)
+	rb := NewBufferFrom(b.Bytes())
+	if v, _ := rb.UnpackInt(); v != 7 {
+		t.Fatal("first read failed")
+	}
+	rb.Rewind()
+	if v, _ := rb.UnpackInt(); v != 7 {
+		t.Fatal("read after Rewind failed")
+	}
+}
+
+// Property: arbitrary sequences of packed values round-trip exactly.
+func TestBufferRoundTripProperty(t *testing.T) {
+	f := func(i int, fl float64, s string, fs []float64) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		b := NewBuffer()
+		b.PackInt(i)
+		b.PackFloat(fl)
+		b.PackString(s)
+		b.PackFloats(fs)
+		rb := NewBufferFrom(b.Bytes())
+		gi, err1 := rb.UnpackInt()
+		gf, err2 := rb.UnpackFloat()
+		gs, err3 := rb.UnpackString()
+		gfs, err4 := rb.UnpackFloats()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		if gi != i || gf != fl || gs != s || len(gfs) != len(fs) {
+			return false
+		}
+		for k := range fs {
+			if gfs[k] != fs[k] && !(math.IsNaN(gfs[k]) && math.IsNaN(fs[k])) {
+				return false
+			}
+		}
+		return rb.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	go func() {
+		b := NewBuffer()
+		b.PackString("ping")
+		w.Comm(0).Send(1, 5, b)
+	}()
+	m, err := w.Comm(1).Recv(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.Tag != 5 {
+		t.Fatalf("From/Tag = %d/%d", m.From, m.Tag)
+	}
+	if s, _ := m.Buf.UnpackString(); s != "ping" {
+		t.Fatalf("payload = %q", s)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := NewWorld(3)
+	defer w.Close()
+	b := NewBuffer()
+	b.PackInt(9)
+	if err := w.Comm(2).Send(0, 7, b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.Comm(0).Recv(AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 2 || m.Tag != 7 {
+		t.Fatalf("wildcard recv got From=%d Tag=%d", m.From, m.Tag)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	bA := NewBuffer()
+	bA.PackInt(1)
+	bB := NewBuffer()
+	bB.PackInt(2)
+	c0.Send(1, 10, bA)
+	c0.Send(1, 20, bB)
+	// Receive tag 20 first even though tag 10 arrived earlier.
+	m, err := c1.Recv(AnySource, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Buf.UnpackInt(); v != 2 {
+		t.Fatalf("tag-20 payload = %d, want 2", v)
+	}
+	m, err = c1.Recv(AnySource, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Buf.UnpackInt(); v != 1 {
+		t.Fatalf("tag-10 payload = %d, want 1", v)
+	}
+}
+
+func TestPairwiseOrdering(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		b := NewBuffer()
+		b.PackInt(i)
+		if err := w.Comm(0).Send(1, 1, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := w.Comm(1).Recv(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := m.Buf.UnpackInt(); v != i {
+			t.Fatalf("out of order: got %d at position %d", v, i)
+		}
+	}
+}
+
+func TestSendPayloadIsolation(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	b := NewBuffer()
+	b.PackInt(5)
+	if err := w.Comm(0).Send(1, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	b.PackInt(6) // mutate after send; receiver must still see only the first int
+	m, err := w.Comm(1).Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Buf.Len() != 8 {
+		t.Fatalf("received %d bytes, want 8 (send must copy)", m.Buf.Len())
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Comm(1).Recv(AnySource, AnyTag)
+		done <- err
+	}()
+	w.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("blocked Recv returned %v, want ErrClosed", err)
+	}
+	if err := w.Comm(0).Send(1, 1, NewBuffer()); err != ErrClosed {
+		t.Fatalf("Send after Close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	if _, ok, err := w.Comm(1).TryRecv(AnySource, AnyTag); ok || err != nil {
+		t.Fatalf("TryRecv on empty box: ok=%v err=%v", ok, err)
+	}
+	b := NewBuffer()
+	b.PackInt(3)
+	w.Comm(0).Send(1, 2, b)
+	m, ok, err := w.Comm(1).TryRecv(0, 2)
+	if !ok || err != nil {
+		t.Fatalf("TryRecv: ok=%v err=%v", ok, err)
+	}
+	if v, _ := m.Buf.UnpackInt(); v != 3 {
+		t.Fatalf("payload = %d", v)
+	}
+}
+
+func TestInvalidRankAndTag(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	if err := w.Comm(0).Send(5, 1, NewBuffer()); err == nil {
+		t.Fatal("send to invalid rank accepted")
+	}
+	if err := w.Comm(0).Send(1, -3, NewBuffer()); err == nil {
+		t.Fatal("send with negative tag accepted")
+	}
+}
+
+func TestCommPanicsOnBadRank(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Comm(9) did not panic")
+		}
+	}()
+	w.Comm(9)
+}
+
+// Stress: many senders to one receiver; every message must arrive exactly
+// once. Run with -race to exercise the locking.
+func TestManyToOneDelivery(t *testing.T) {
+	const senders = 8
+	const perSender = 200
+	w := NewWorld(senders + 1)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			for i := 0; i < perSender; i++ {
+				b := NewBuffer()
+				b.PackInt(rank*1000000 + i)
+				if err := c.Send(0, 1, b); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	seen := make(map[int]bool)
+	c0 := w.Comm(0)
+	for i := 0; i < senders*perSender; i++ {
+		m, err := c0.Recv(AnySource, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := m.Buf.UnpackInt()
+		if seen[v] {
+			t.Fatalf("duplicate message %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+	if len(seen) != senders*perSender {
+		t.Fatalf("got %d distinct messages, want %d", len(seen), senders*perSender)
+	}
+}

@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is returned by Send and Recv after the world is shut down.
+var ErrClosed = errors.New("mpi: world closed")
+
+// Message is one received message.
+type Message struct {
+	// From is the sender's rank.
+	From int
+	// Tag is the message tag.
+	Tag int
+	// Buf carries the packed payload, rewound and ready to unpack.
+	Buf *Buffer
+}
+
+// World is a communicator over n ranks. Messages between a fixed (sender,
+// receiver) pair are delivered in send order, like MPI point-to-point
+// ordering. A World must be created with NewWorld.
+type World struct {
+	n     int
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []Message
+	closed bool
+}
+
+// NewWorld creates a communicator with n ranks (n >= 1).
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: NewWorld(%d): need at least one rank", n))
+	}
+	w := &World{n: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		w.boxes[i] = mb
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns the endpoint for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.n))
+	}
+	return &Comm{rank: rank, w: w}
+}
+
+// Close shuts the world down: every blocked Recv returns ErrClosed and
+// subsequent Sends fail. Close is idempotent.
+func (w *World) Close() {
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.closed = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// Comm is one rank's endpoint into a World.
+type Comm struct {
+	rank int
+	w    *World
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Send delivers a copy of the buffer's bytes to the destination rank with
+// the given tag. Send never blocks (mailboxes are unbounded, matching the
+// eager-send behaviour the MW framework assumes for its small control
+// messages).
+func (c *Comm) Send(to, tag int, b *Buffer) error {
+	if to < 0 || to >= c.w.n {
+		return fmt.Errorf("mpi: send to invalid rank %d", to)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: send with invalid tag %d", tag)
+	}
+	payload := append([]byte(nil), b.Bytes()...)
+	mb := c.w.boxes[to]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.msgs = append(mb.msgs, Message{From: c.rank, Tag: tag, Buf: NewBufferFrom(payload)})
+	mb.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message matching (from, tag) arrives, where AnySource
+// and AnyTag act as wildcards. Among matching messages the earliest arrival
+// is returned. Recv returns ErrClosed once the world is shut down and no
+// matching message remains.
+func (c *Comm) Recv(from, tag int) (Message, error) {
+	mb := c.w.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if (from == AnySource || m.From == from) && (tag == AnyTag || m.Tag == tag) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return Message{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+// TryRecv is a non-blocking Recv: ok is false when no matching message is
+// queued.
+func (c *Comm) TryRecv(from, tag int) (Message, bool, error) {
+	mb := c.w.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.msgs {
+		if (from == AnySource || m.From == from) && (tag == AnyTag || m.Tag == tag) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, true, nil
+		}
+	}
+	if mb.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}

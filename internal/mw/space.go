@@ -1,0 +1,215 @@
+package mw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// SpaceConfig configures an MW-backed sampling space.
+type SpaceConfig struct {
+	// Dim is the parameter-space dimension; the deployment uses Dim+3
+	// workers (one per vertex plus two trial vertices, section 3.1).
+	Dim int
+	// Ns is the number of simulation clients under each vertex server.
+	Ns int
+	// NewSystem builds the evaluator for client sys (0-based) of worker
+	// rank (1-based). It runs on the client "process".
+	NewSystem func(rank, sys int) SystemEvaluator
+	// SpoolDir, if non-empty, routes every worker-server conduit through
+	// files under SpoolDir/worker-<rank>; otherwise conduits are in-memory.
+	SpoolDir string
+	// Counts, if non-nil, receives live process accounting (Table 3.3).
+	Counts *ProcessCounts
+}
+
+// Space is the parallel sampling backend: a sim.Space whose points live on
+// MW vertex workers. Each point is pinned to one worker for its lifetime
+// ("each worker is logically associated with a vertex object"), and
+// SampleAll batches advance the virtual wall clock once, modelling the
+// concurrent sampling of all active vertices.
+type Space struct {
+	cfg    SpaceConfig
+	driver *Driver
+	clock  vtime.Clock
+	free   chan int
+
+	mu    sync.Mutex
+	evals int64
+}
+
+// NewSpace launches the full two-level deployment: 1 master, Dim+3 workers,
+// Dim+3 servers, (Dim+3)*Ns clients.
+func NewSpace(cfg SpaceConfig) (*Space, error) {
+	if cfg.Dim < 1 {
+		return nil, errors.New("mw: SpaceConfig.Dim must be >= 1")
+	}
+	if cfg.Ns < 1 {
+		return nil, errors.New("mw: SpaceConfig.Ns must be >= 1")
+	}
+	if cfg.NewSystem == nil {
+		return nil, errors.New("mw: SpaceConfig.NewSystem is required")
+	}
+	workers := cfg.Dim + 3
+	s := &Space{cfg: cfg, free: make(chan int, workers)}
+	driver, err := NewDriver(Config{
+		Workers: workers,
+		NewTask: func() Task { return &VertexOp{} },
+		NewWorker: func(rank int) Worker {
+			vcfg := VertexWorkerConfig{
+				Ns:        cfg.Ns,
+				NewSystem: func(sys int) SystemEvaluator { return cfg.NewSystem(rank, sys) },
+				Counts:    cfg.Counts,
+			}
+			if cfg.SpoolDir != "" {
+				vcfg.SpoolDir = filepath.Join(cfg.SpoolDir, fmt.Sprintf("worker-%03d", rank))
+			}
+			vw, err := NewVertexWorker(vcfg)
+			if err != nil {
+				return &brokenWorker{err: err}
+			}
+			return vw
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.driver = driver
+	if cfg.Counts != nil {
+		cfg.Counts.Masters.Add(1)
+	}
+	for rank := 1; rank <= workers; rank++ {
+		s.free <- rank
+	}
+	return s, nil
+}
+
+// Dim implements sim.Space.
+func (s *Space) Dim() int { return s.cfg.Dim }
+
+// Clock implements sim.Space.
+func (s *Space) Clock() *vtime.Clock { return &s.clock }
+
+// Evaluations implements sim.Space.
+func (s *Space) Evaluations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evals
+}
+
+// Driver exposes the underlying MW driver for stats and restarts.
+func (s *Space) Driver() *Driver { return s.driver }
+
+// NewPoint implements sim.Space: it claims a free vertex worker and starts an
+// evaluation there. With more than Dim+3 concurrently active points, NewPoint
+// blocks until one is closed — the paper's hard resource bound of d+3 active
+// vertices.
+func (s *Space) NewPoint(x []float64) sim.Point {
+	if len(x) != s.cfg.Dim {
+		panic("mw: NewPoint dimension mismatch")
+	}
+	rank := <-s.free
+	xc := append([]float64(nil), x...)
+	pending, err := s.driver.SubmitTo(rank, NewStartOp(xc))
+	if err == nil {
+		err = pending.Wait()
+	}
+	if err != nil {
+		s.free <- rank
+		panic(fmt.Sprintf("mw: starting point on worker %d: %v", rank, err))
+	}
+	return &mwPoint{
+		space: s,
+		rank:  rank,
+		x:     xc,
+		est:   sim.Estimate{Mean: math.NaN(), Sigma: math.Inf(1)},
+	}
+}
+
+// SampleAll implements sim.Space: every point samples for dt concurrently on
+// its own worker, and the wall clock advances dt once.
+func (s *Space) SampleAll(points []sim.Point, dt float64) {
+	if len(points) == 0 {
+		return
+	}
+	type issued struct {
+		p  *mwPoint
+		op *VertexOp
+		pd *Pending
+	}
+	batch := make([]issued, 0, len(points))
+	for _, p := range points {
+		mp, ok := p.(*mwPoint)
+		if !ok {
+			panic("mw: SampleAll received a foreign Point")
+		}
+		op := NewSampleOp(dt)
+		pd, err := s.driver.SubmitTo(mp.rank, op)
+		if err != nil {
+			panic(fmt.Sprintf("mw: sample submit: %v", err))
+		}
+		batch = append(batch, issued{mp, op, pd})
+	}
+	for _, is := range batch {
+		if err := is.pd.Wait(); err != nil {
+			panic(fmt.Sprintf("mw: sample on worker %d: %v", is.p.rank, err))
+		}
+		is.p.est = sim.Estimate{
+			Mean:  is.op.Mean,
+			Sigma: math.Sqrt(is.op.Variance),
+			Time:  is.op.Time,
+		}
+	}
+	s.mu.Lock()
+	s.evals += int64(len(points) * s.cfg.Ns)
+	s.mu.Unlock()
+	s.clock.Advance(dt)
+}
+
+// Shutdown tears down the whole deployment.
+func (s *Space) Shutdown() {
+	s.driver.Shutdown()
+	if s.cfg.Counts != nil {
+		s.cfg.Counts.Masters.Add(-1)
+	}
+}
+
+type mwPoint struct {
+	space  *Space
+	rank   int
+	x      []float64
+	est    sim.Estimate
+	closed bool
+}
+
+func (p *mwPoint) X() []float64 { return p.x }
+
+func (p *mwPoint) Estimate() sim.Estimate { return p.est }
+
+func (p *mwPoint) Sample(dt float64) {
+	if p.closed {
+		panic("mw: Sample on closed point")
+	}
+	p.space.SampleAll([]sim.Point{p}, dt)
+}
+
+func (p *mwPoint) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	pending, err := p.space.driver.SubmitTo(p.rank, NewStopOp())
+	if err == nil {
+		err = pending.Wait()
+	}
+	if err == nil {
+		p.space.free <- p.rank
+	}
+	// A failed stop leaks the slot rather than handing out a worker in an
+	// unknown state; the driver's stats surface the failure.
+}

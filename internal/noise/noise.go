@@ -1,0 +1,118 @@
+// Package noise implements the stochastic observation model of the paper
+// (eqs 1.1-1.2): the observed objective value at a vertex k is
+//
+//	g(theta_k) = f(theta_k) + eps_k(t_k)
+//
+// where eps_k is Gaussian with mean zero and variance sigma_k^2(t_k) =
+// (sigma0_k)^2 / t_k, and t_k is the accumulated sampling time at that
+// vertex. Continued sampling shrinks the noise as 1/sqrt(t), exactly as a
+// molecular-dynamics average over a longer trajectory would.
+//
+// An Accumulator models this consistently across incremental sampling: the
+// noise contribution is a Brownian integral W(t) with Var W(t) = sigma0^2*t,
+// and the running estimate is f + W(t)/t, so that (a) the estimate after
+// total time t has variance sigma0^2/t regardless of how the sampling was
+// split into increments, and (b) successive estimates are correlated the way
+// a lengthening running average is, rather than being independent redraws.
+package noise
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Accumulator tracks the sampling state of one point in parameter space.
+// It owns the underlying deterministic value f (unknown to the optimizer)
+// and the accumulated Brownian noise.
+type Accumulator struct {
+	f      float64 // underlying noise-free value
+	sigma0 float64 // inherent noise strength (sigma0_k in eq 1.2)
+
+	t float64 // accumulated sampling time
+	w float64 // accumulated Brownian noise integral, Var = sigma0^2 * t
+
+	// Statistics for estimating sigma0 from the observed increments, used
+	// when the optimizer is not told the true noise strength (the paper:
+	// "there is no expectation that this variance is known ahead of time").
+	n      int     // number of increments
+	zMean  float64 // Welford mean of normalized increments
+	zM2    float64 // Welford sum of squared deviations
+	zCount int
+}
+
+// NewAccumulator returns an accumulator for a point whose noise-free value is
+// f and whose inherent noise strength is sigma0 (may be zero for a noiseless
+// objective).
+func NewAccumulator(f, sigma0 float64) *Accumulator {
+	if sigma0 < 0 {
+		panic("noise: negative sigma0")
+	}
+	return &Accumulator{f: f, sigma0: sigma0}
+}
+
+// Sample accrues dt additional seconds of sampling, drawing the noise
+// increment from rng. dt must be positive.
+func (a *Accumulator) Sample(dt float64, rng *rand.Rand) {
+	if dt <= 0 {
+		panic("noise: Sample requires dt > 0")
+	}
+	z := rng.NormFloat64()
+	a.w += a.sigma0 * math.Sqrt(dt) * z
+	a.t += dt
+
+	// Each increment's value, normalized, is an N(0, sigma0^2) draw:
+	// (dW/dt)*sqrt(dt) = sigma0 * z. Track it to estimate sigma0.
+	y := a.sigma0 * z
+	a.zCount++
+	d := y - a.zMean
+	a.zMean += d / float64(a.zCount)
+	a.zM2 += d * (y - a.zMean)
+	a.n++
+}
+
+// Mean returns the current running estimate of the objective value,
+// f + W(t)/t. Before any sampling it returns the underlying value (a point
+// that was never sampled carries no information; callers are expected to
+// Sample before trusting Mean, and Sigma reports +Inf in that state).
+func (a *Accumulator) Mean() float64 {
+	if a.t == 0 {
+		return a.f
+	}
+	return a.f + a.w/a.t
+}
+
+// Sigma returns the true standard deviation of the current estimate,
+// sigma0/sqrt(t) (eq 1.2). It is +Inf before any sampling.
+func (a *Accumulator) Sigma() float64 {
+	if a.t == 0 {
+		return math.Inf(1)
+	}
+	return a.sigma0 / math.Sqrt(a.t)
+}
+
+// SigmaEst returns an estimate of the standard deviation of the current
+// running mean, computed only from observed increments (no knowledge of the
+// true sigma0). With fewer than two increments it falls back to the true
+// value, mirroring a practitioner's use of a prior guess until batch
+// statistics exist.
+func (a *Accumulator) SigmaEst() float64 {
+	if a.zCount < 2 || a.t == 0 {
+		return a.Sigma()
+	}
+	s0 := math.Sqrt(a.zM2 / float64(a.zCount-1))
+	return s0 / math.Sqrt(a.t)
+}
+
+// Time returns the accumulated sampling time t_k.
+func (a *Accumulator) Time() float64 { return a.t }
+
+// Underlying returns the noise-free value f. It exists for harness-side
+// accounting (computing the R performance measure of section 3.2); the
+// optimization algorithms never call it.
+func (a *Accumulator) Underlying() float64 { return a.f }
+
+// Sigma0 returns the inherent noise strength sigma0_k.
+func (a *Accumulator) Sigma0() float64 { return a.sigma0 }
+
+// Increments returns the number of sampling increments taken so far.
+func (a *Accumulator) Increments() int { return a.n }

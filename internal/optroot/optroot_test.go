@@ -1,0 +1,217 @@
+package optroot
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRoot creates a minimal OPTROOT tree: two systems (one with a nested
+// second phase), two properties computed from the parameters by shell
+// arithmetic.
+func buildRoot(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("input", strings.Join([]string{
+		"a b",
+		"1.0 2.0",
+		"1.5 2.0",
+		"1.0 2.5",
+	}, "\n"))
+	// System 1: phase 1 writes a|b to out1, phase 2 copies it up.
+	write("systems/sysA/run.sh", "echo $PARAM_a > out1\n")
+	write("systems/sysA/nve/run.sh", "cp ../out1 out2\n")
+	write("systems/sysA/config.dat", "starting configuration\n")
+	// System 2: single phase.
+	write("systems/sysB/run.sh", "echo $PARAM_b > outB\n")
+	// Reserved par dir must be ignored.
+	write("systems/par0001/run.sh", "echo should-never-run\n")
+	// Properties: prop1 = a (target 1, w 1), prop2 = b (target 2, w 2).
+	write("properties/prop1.sh", "cat sysA/out1\n")
+	write("properties/prop1.val", "1.0\n")
+	write("properties/prop2.sh", "cat sysB/outB\n")
+	write("properties/prop2.val", "2.0\n")
+	write("properties/prop2.w", "2.0\n")
+	return dir
+}
+
+func TestLoadParsesTree(t *testing.T) {
+	r, err := Load(buildRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ParamNames) != 2 || r.ParamNames[0] != "a" || r.ParamNames[1] != "b" {
+		t.Fatalf("params = %v", r.ParamNames)
+	}
+	if len(r.InitialSimplex) != 3 {
+		t.Fatalf("simplex rows = %d", len(r.InitialSimplex))
+	}
+	if r.InitialSimplex[1][0] != 1.5 {
+		t.Fatalf("vertex value = %v", r.InitialSimplex[1][0])
+	}
+	if len(r.Systems) != 2 {
+		t.Fatalf("systems = %+v", r.Systems)
+	}
+	if r.Systems[0].Name != "sysA" || len(r.Systems[0].Phases) != 2 {
+		t.Fatalf("sysA phases = %+v", r.Systems[0].Phases)
+	}
+	if r.Systems[0].Phases[1].Depth != 2 {
+		t.Fatalf("nested phase depth = %d", r.Systems[0].Phases[1].Depth)
+	}
+	if len(r.Properties) != 2 {
+		t.Fatalf("properties = %+v", r.Properties)
+	}
+	if r.Properties[1].Weight != 2 {
+		t.Fatalf("prop2 weight = %v", r.Properties[1].Weight)
+	}
+}
+
+func TestProcessorsCountsRunScripts(t *testing.T) {
+	r, err := Load(buildRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sysA has 2 phases, sysB has 1; par0001 is ignored.
+	if got := r.Processors(); got != 3 {
+		t.Fatalf("Processors = %d, want 3", got)
+	}
+}
+
+func TestEvaluateRunsPhasesAndComputesCost(t *testing.T) {
+	r, err := Load(buildRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := r.Evaluate([]float64{1.2, 2.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Properties) != 2 {
+		t.Fatalf("properties = %v", ev.Properties)
+	}
+	if math.Abs(ev.Properties[0]-1.2) > 1e-9 || math.Abs(ev.Properties[1]-2.4) > 1e-9 {
+		t.Fatalf("properties = %v, want [1.2 2.4]", ev.Properties)
+	}
+	// cost = (1/1^2)((1.2-1)/1)^2 + (1/2^2)((2.4-2)/2)^2 = 0.04 + 0.01.
+	if math.Abs(ev.Cost-0.05) > 1e-9 {
+		t.Fatalf("cost = %v, want 0.05", ev.Cost)
+	}
+	// The nested phase must have run after phase 1.
+	if _, err := os.Stat(filepath.Join(ev.Dir, "sysA", "nve", "out2")); err != nil {
+		t.Fatalf("phase 2 output missing: %v", err)
+	}
+	// Static input files must have been staged.
+	if _, err := os.Stat(filepath.Join(ev.Dir, "sysA", "config.dat")); err != nil {
+		t.Fatalf("staged config missing: %v", err)
+	}
+}
+
+func TestEvaluateSeparateDirsPerCall(t *testing.T) {
+	r, err := Load(buildRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, err := r.Evaluate([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := r.Evaluate([]float64{1.1, 2.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Dir == ev2.Dir {
+		t.Fatal("evaluations shared a par directory")
+	}
+}
+
+func TestEvaluateDimensionCheck(t *testing.T) {
+	r, err := Load(buildRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Evaluate([]float64{1}); err == nil {
+		t.Fatal("wrong-dimension evaluate accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	// Missing input file.
+	dir := t.TempDir()
+	if _, err := Load(dir); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+
+	// Input with too few vertex rows.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "input"), []byte("a b\n1 2\n"), 0o644)
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("short input accepted")
+	}
+
+	// System without run.sh.
+	dir3 := t.TempDir()
+	os.WriteFile(filepath.Join(dir3, "input"), []byte("a\n1\n2\n"), 0o644)
+	os.MkdirAll(filepath.Join(dir3, "systems", "broken"), 0o755)
+	if _, err := Load(dir3); err == nil {
+		t.Fatal("system without run.sh accepted")
+	}
+}
+
+func TestPropertyWithoutTargetRejected(t *testing.T) {
+	dir := buildRoot(t)
+	os.WriteFile(filepath.Join(dir, "properties", "prop3.sh"), []byte("echo 1\n"), 0o755)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("property without .val accepted")
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	dir := buildRoot(t)
+	os.WriteFile(filepath.Join(dir, "properties", "prop2.w"), []byte("-1\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestFailingPhaseSurfacesError(t *testing.T) {
+	dir := buildRoot(t)
+	os.WriteFile(filepath.Join(dir, "systems", "sysB", "run.sh"), []byte("echo boom >&2; exit 3\n"), 0o755)
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Evaluate([]float64{1, 2}); err == nil {
+		t.Fatal("failing phase did not surface")
+	} else if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error lacks script output: %v", err)
+	}
+}
+
+func TestZeroTargetUsesAbsoluteResidual(t *testing.T) {
+	dir := buildRoot(t)
+	os.WriteFile(filepath.Join(dir, "properties", "prop1.val"), []byte("0\n"), 0o644)
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := r.Evaluate([]float64{0.3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prop1: (0.3-0)^2/1 = 0.09; prop2 on target = 0.
+	if math.Abs(ev.Cost-0.09) > 1e-9 {
+		t.Fatalf("cost = %v, want 0.09", ev.Cost)
+	}
+}

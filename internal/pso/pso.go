@@ -1,0 +1,273 @@
+// Package pso implements the global-optimization extension the paper's
+// future-work section proposes (section 5.2): particle swarm optimization
+// with the max-noise / point-to-point comparison machinery, and a hybrid
+// that uses the stochastic simplex as the local refinement stage ("simplex
+// ... used as a local search subroutine within a metaheuristic method",
+// section 1.3.5.1).
+//
+// Every particle evaluation goes through the same sim.Space sampling
+// abstraction as the simplex algorithms, so the swarm sees noisy estimates
+// whose precision improves with sampling time (eq 1.2). Personal-best and
+// global-best updates can be made at a k-sigma confidence separation with
+// resampling, the direct transplant of the PC comparison rule.
+package pso
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config controls a swarm run.
+type Config struct {
+	// Particles is the swarm size.
+	Particles int
+	// Iterations is the number of swarm updates.
+	Iterations int
+	// Inertia, Cognitive, Social are the standard PSO coefficients
+	// (defaults 0.72, 1.49, 1.49 — the constriction values).
+	Inertia, Cognitive, Social float64
+	// Lo, Hi bound the search box per dimension.
+	Lo, Hi []float64
+	// SampleDt is the sampling time given to each fresh evaluation.
+	SampleDt float64
+	// K is the confidence multiplier for noise-aware best-updates: a
+	// candidate replaces a best only when candidate + K*sigma < best -
+	// K*sigma, resampling both while indeterminate. K = 0 compares plain
+	// means (the noise-blind swarm the paper warns about).
+	K float64
+	// Resample is the sampling increment per indeterminate round.
+	Resample float64
+	// ResampleGrowth multiplies the increment each round (>= 1).
+	ResampleGrowth float64
+	// MaxRounds caps resample rounds per comparison.
+	MaxRounds int
+	// MaxWalltime bounds the virtual clock (0 = unlimited).
+	MaxWalltime float64
+	// Seed drives the swarm's own randomness.
+	Seed int64
+}
+
+// DefaultConfig returns standard constriction-coefficient PSO settings with
+// noise-aware comparisons at one sigma.
+func DefaultConfig(lo, hi []float64) Config {
+	return Config{
+		Particles:      20,
+		Iterations:     60,
+		Inertia:        0.72,
+		Cognitive:      1.49,
+		Social:         1.49,
+		Lo:             lo,
+		Hi:             hi,
+		SampleDt:       1,
+		K:              1,
+		Resample:       1,
+		ResampleGrowth: 2,
+		MaxRounds:      20,
+	}
+}
+
+func (c *Config) validate(d int) error {
+	if c.Particles < 2 {
+		return errors.New("pso: need at least 2 particles")
+	}
+	if c.Iterations < 1 {
+		return errors.New("pso: need at least 1 iteration")
+	}
+	if len(c.Lo) != d || len(c.Hi) != d {
+		return fmt.Errorf("pso: bounds have %d/%d entries, want %d", len(c.Lo), len(c.Hi), d)
+	}
+	for i := range c.Lo {
+		if !(c.Lo[i] < c.Hi[i]) {
+			return fmt.Errorf("pso: bounds[%d] = [%v, %v] empty", i, c.Lo[i], c.Hi[i])
+		}
+	}
+	if c.SampleDt <= 0 || c.Resample <= 0 || c.ResampleGrowth < 1 || c.MaxRounds < 0 {
+		return errors.New("pso: invalid sampling configuration")
+	}
+	return nil
+}
+
+// Result summarizes a swarm run.
+type Result struct {
+	// BestX is the global-best position.
+	BestX []float64
+	// BestG is its noisy estimate at termination.
+	BestG float64
+	// BestSigma is the standard deviation of BestG.
+	BestSigma float64
+	// Iterations is the number of completed swarm updates.
+	Iterations int
+	// Walltime is the elapsed virtual time.
+	Walltime float64
+	// Evaluations is the cumulative sampling count from the space.
+	Evaluations int64
+	// ResampleRounds counts indeterminate-comparison resampling rounds.
+	ResampleRounds int
+}
+
+type particle struct {
+	x, v  []float64
+	pbest sim.Point
+}
+
+// Optimize runs the swarm on the space. Particles are initialized uniformly
+// in the box with velocities up to half the box width.
+func Optimize(space sim.Space, cfg Config) (*Result, error) {
+	d := space.Dim()
+	if err := cfg.validate(d); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clock := space.Clock()
+	start := clock.Now()
+
+	res := &Result{}
+	swarm := make([]*particle, cfg.Particles)
+	var gbest sim.Point
+	newEval := func(x []float64) sim.Point {
+		p := space.NewPoint(x)
+		space.SampleAll([]sim.Point{p}, cfg.SampleDt)
+		return p
+	}
+	for i := range swarm {
+		x := make([]float64, d)
+		v := make([]float64, d)
+		for j := 0; j < d; j++ {
+			w := cfg.Hi[j] - cfg.Lo[j]
+			x[j] = cfg.Lo[j] + w*rng.Float64()
+			v[j] = (rng.Float64() - 0.5) * w
+		}
+		pt := newEval(x)
+		swarm[i] = &particle{x: append([]float64(nil), x...), v: v, pbest: pt}
+		if gbest == nil || pt.Estimate().Mean < gbest.Estimate().Mean {
+			gbest = pt
+		}
+	}
+
+	overBudget := func() bool {
+		return cfg.MaxWalltime > 0 && clock.Now()-start >= cfg.MaxWalltime
+	}
+
+	// confidentlyBelow resolves "a below b" at cfg.K sigma, resampling both
+	// while indeterminate; falls back to plain means at the round cap.
+	confidentlyBelow := func(a, b sim.Point) bool {
+		if cfg.K == 0 {
+			return a.Estimate().Mean < b.Estimate().Mean
+		}
+		dt := cfg.Resample
+		for rounds := 0; ; rounds++ {
+			ea, eb := a.Estimate(), b.Estimate()
+			if ea.Mean+cfg.K*ea.Sigma < eb.Mean-cfg.K*eb.Sigma {
+				return true
+			}
+			if ea.Mean-cfg.K*ea.Sigma >= eb.Mean+cfg.K*eb.Sigma {
+				return false
+			}
+			if rounds >= cfg.MaxRounds || overBudget() {
+				return ea.Mean < eb.Mean
+			}
+			space.SampleAll([]sim.Point{a, b}, dt)
+			dt *= cfg.ResampleGrowth
+			res.ResampleRounds++
+		}
+	}
+
+	for iter := 0; iter < cfg.Iterations && !overBudget(); iter++ {
+		for _, p := range swarm {
+			gx := gbest.X()
+			px := p.pbest.X()
+			for j := 0; j < d; j++ {
+				p.v[j] = cfg.Inertia*p.v[j] +
+					cfg.Cognitive*rng.Float64()*(px[j]-p.x[j]) +
+					cfg.Social*rng.Float64()*(gx[j]-p.x[j])
+				p.x[j] += p.v[j]
+				// Reflect at the box bounds.
+				if p.x[j] < cfg.Lo[j] {
+					p.x[j] = 2*cfg.Lo[j] - p.x[j]
+					p.v[j] = -p.v[j]
+				}
+				if p.x[j] > cfg.Hi[j] {
+					p.x[j] = 2*cfg.Hi[j] - p.x[j]
+					p.v[j] = -p.v[j]
+				}
+				if p.x[j] < cfg.Lo[j] {
+					p.x[j] = cfg.Lo[j] // degenerate overshoot
+				}
+			}
+			cand := newEval(p.x)
+			if confidentlyBelow(cand, p.pbest) {
+				if p.pbest == gbest {
+					// The global best is being replaced as a personal best;
+					// re-elect below rather than closing a live reference.
+					gbest = cand
+					p.pbest.Close()
+				} else {
+					p.pbest.Close()
+				}
+				p.pbest = cand
+			} else {
+				cand.Close()
+			}
+			if p.pbest != gbest && confidentlyBelow(p.pbest, gbest) {
+				gbest = p.pbest
+			}
+		}
+		res.Iterations++
+	}
+
+	est := gbest.Estimate()
+	res.BestX = append([]float64(nil), gbest.X()...)
+	res.BestG = est.Mean
+	res.BestSigma = est.Sigma
+	res.Walltime = clock.Now() - start
+	res.Evaluations = space.Evaluations()
+	for _, p := range swarm {
+		p.pbest.Close()
+	}
+	return res, nil
+}
+
+// HybridConfig couples a global swarm phase with a local stochastic-simplex
+// refinement around the swarm's best point.
+type HybridConfig struct {
+	// PSO is the global phase configuration.
+	PSO Config
+	// Local is the refinement configuration (typically MN or PC).
+	Local core.Config
+	// LocalScale gives the refinement simplex edge lengths per dimension.
+	LocalScale []float64
+}
+
+// OptimizeHybrid runs the PSO global phase, then refines its best point with
+// the stochastic simplex, returning the refinement result (whose BestX is at
+// least as good as the swarm's, at the local algorithm's confidence).
+func OptimizeHybrid(space sim.Space, cfg HybridConfig) (*core.Result, *Result, error) {
+	d := space.Dim()
+	if len(cfg.LocalScale) != d {
+		return nil, nil, fmt.Errorf("pso: LocalScale has %d entries, want %d", len(cfg.LocalScale), d)
+	}
+	global, err := Optimize(space, cfg.PSO)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial := make([][]float64, d+1)
+	initial[0] = append([]float64(nil), global.BestX...)
+	for i := 0; i < d; i++ {
+		v := append([]float64(nil), global.BestX...)
+		v[i] += cfg.LocalScale[i]
+		initial[i+1] = v
+	}
+	local, err := core.Optimize(space, initial, cfg.Local)
+	if err != nil {
+		return nil, nil, err
+	}
+	if math.IsNaN(local.BestG) {
+		return nil, nil, errors.New("pso: local refinement produced no estimate")
+	}
+	return local, global, nil
+}

@@ -1,0 +1,226 @@
+// Package sim defines the sampling abstraction through which the optimization
+// algorithms observe an objective function, mirroring the separation in the
+// paper between the simplex logic (master) and the sampling simulations
+// (workers/servers/clients).
+//
+// An optimizer never sees a function value directly; it sees a Point that can
+// be sampled for additional virtual time and queried for its current Estimate
+// (running mean plus the standard deviation of that mean). Backends decide how
+// sampling is executed:
+//
+//   - LocalSpace runs sampling in-process and is used by unit tests, the
+//     sequential experiments, and as the leaf evaluator inside MW clients.
+//   - The mw package provides a Space that farms SampleAll batches out to
+//     worker processes over the master-worker framework, reproducing the
+//     paper's parallel deployment.
+package sim
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/noise"
+	"repro/internal/vtime"
+)
+
+// Estimate is the optimizer-visible state of a sampled point.
+type Estimate struct {
+	// Mean is the current running estimate of g(theta).
+	Mean float64
+	// Sigma is the standard deviation of Mean. Depending on the backend's
+	// SigmaMode it is either the true sigma0/sqrt(t) or a batch estimate.
+	Sigma float64
+	// Time is the accumulated sampling time t of the point.
+	Time float64
+}
+
+// Point is one location in parameter space with accumulated sampling state.
+type Point interface {
+	// X returns the coordinates of the point. Callers must not mutate the
+	// returned slice.
+	X() []float64
+	// Estimate returns the current estimate of the objective at the point.
+	Estimate() Estimate
+	// Sample accrues dt more virtual seconds of sampling at this point and
+	// advances the space's wall clock according to the backend's execution
+	// model (a lone Sample is serial; use Space.SampleAll for concurrency).
+	Sample(dt float64)
+	// Close releases the resources (worker assignment, file handles)
+	// associated with the point. The paper keeps objective evaluations
+	// "active on each of the d+1 vertices until it is certain that they are
+	// no longer needed"; Close is that certainty signal.
+	Close()
+}
+
+// Space creates points and coordinates batch sampling.
+type Space interface {
+	// Dim returns the dimension of the parameter space.
+	Dim() int
+	// NewPoint starts an objective evaluation at x. The returned point has
+	// zero sampling time; callers sample it before comparing estimates.
+	NewPoint(x []float64) Point
+	// SampleAll samples every point for dt virtual seconds. Backends that
+	// model parallel hardware advance the wall clock by dt once for the
+	// whole batch (all vertices sample concurrently, section 4.3); serial
+	// backends advance it len(points)*dt.
+	SampleAll(points []Point, dt float64)
+	// Clock exposes the virtual wall clock for termination budgets and
+	// trace timestamps.
+	Clock() *vtime.Clock
+	// Evaluations returns the cumulative number of sampling increments
+	// performed, the cost unit used in the paper's N comparisons.
+	Evaluations() int64
+}
+
+// SigmaMode selects which noise estimate a backend reports to the optimizer.
+type SigmaMode int
+
+const (
+	// SigmaKnown reports the true sigma0/sqrt(t) (the controlled-noise
+	// studies of sections 3.2-3.3 inject noise of known strength).
+	SigmaKnown SigmaMode = iota
+	// SigmaEstimated reports a batch-statistics estimate, modelling real
+	// applications where sigma0 "is not known ahead of time" (section 1.1).
+	SigmaEstimated
+)
+
+// LocalConfig configures a LocalSpace.
+type LocalConfig struct {
+	// Dim is the parameter-space dimension.
+	Dim int
+	// F is the underlying deterministic objective.
+	F func(x []float64) float64
+	// Sigma0 returns the inherent noise strength at x. A nil Sigma0 means a
+	// noiseless objective. The paper allows sigma0 to vary over parameter
+	// space ("some models may be noisier than others").
+	Sigma0 func(x []float64) float64
+	// Seed seeds the deterministic noise stream.
+	Seed int64
+	// Mode selects true or estimated sigma reporting.
+	Mode SigmaMode
+	// Parallel, if true, advances the wall clock once per SampleAll batch
+	// (concurrent vertices); if false each point's sampling is serialized
+	// on the clock.
+	Parallel bool
+}
+
+// ConstSigma adapts a constant noise strength to the Sigma0 signature.
+func ConstSigma(s float64) func([]float64) float64 {
+	return func([]float64) float64 { return s }
+}
+
+// LocalSpace is the in-process sampling backend.
+type LocalSpace struct {
+	cfg   LocalConfig
+	clock vtime.Clock
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	evals int64
+}
+
+// NewLocalSpace builds an in-process sampling backend.
+func NewLocalSpace(cfg LocalConfig) *LocalSpace {
+	if cfg.Dim <= 0 {
+		panic("sim: LocalConfig.Dim must be positive")
+	}
+	if cfg.F == nil {
+		panic("sim: LocalConfig.F must be set")
+	}
+	return &LocalSpace{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Dim implements Space.
+func (s *LocalSpace) Dim() int { return s.cfg.Dim }
+
+// Clock implements Space.
+func (s *LocalSpace) Clock() *vtime.Clock { return &s.clock }
+
+// Evaluations implements Space.
+func (s *LocalSpace) Evaluations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evals
+}
+
+// NewPoint implements Space.
+func (s *LocalSpace) NewPoint(x []float64) Point {
+	if len(x) != s.cfg.Dim {
+		panic("sim: NewPoint dimension mismatch")
+	}
+	xc := make([]float64, len(x))
+	copy(xc, x)
+	sigma0 := 0.0
+	if s.cfg.Sigma0 != nil {
+		sigma0 = s.cfg.Sigma0(xc)
+	}
+	return &localPoint{
+		space: s,
+		x:     xc,
+		acc:   noise.NewAccumulator(s.cfg.F(xc), sigma0),
+	}
+}
+
+// SampleAll implements Space. All points accrue dt of sampling; the wall
+// clock advances dt once in parallel mode, len(points)*dt in serial mode.
+func (s *LocalSpace) SampleAll(points []Point, dt float64) {
+	if len(points) == 0 {
+		return
+	}
+	for _, p := range points {
+		lp, ok := p.(*localPoint)
+		if !ok {
+			panic("sim: SampleAll received a foreign Point")
+		}
+		lp.sampleNoClock(dt)
+	}
+	if s.cfg.Parallel {
+		s.clock.Advance(dt)
+	} else {
+		s.clock.Advance(float64(len(points)) * dt)
+	}
+}
+
+type localPoint struct {
+	space  *LocalSpace
+	x      []float64
+	acc    *noise.Accumulator
+	closed bool
+}
+
+func (p *localPoint) X() []float64 { return p.x }
+
+func (p *localPoint) Estimate() Estimate {
+	sigma := p.acc.Sigma()
+	if p.space.cfg.Mode == SigmaEstimated {
+		sigma = p.acc.SigmaEst()
+	}
+	return Estimate{Mean: p.acc.Mean(), Sigma: sigma, Time: p.acc.Time()}
+}
+
+func (p *localPoint) Sample(dt float64) {
+	p.sampleNoClock(dt)
+	p.space.clock.Advance(dt)
+}
+
+func (p *localPoint) sampleNoClock(dt float64) {
+	if p.closed {
+		panic("sim: Sample on closed point")
+	}
+	p.space.mu.Lock()
+	p.acc.Sample(dt, p.space.rng)
+	p.space.evals++
+	p.space.mu.Unlock()
+}
+
+func (p *localPoint) Close() { p.closed = true }
+
+// Underlying reports the noise-free objective value of a point when the
+// backend knows it (LocalSpace does). Experiment harnesses use it for the R
+// performance measure; optimizers must not.
+func Underlying(p Point) (float64, bool) {
+	if lp, ok := p.(*localPoint); ok {
+		return lp.acc.Underlying(), true
+	}
+	return 0, false
+}

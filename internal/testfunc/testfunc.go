@@ -1,0 +1,155 @@
+// Package testfunc provides the deterministic test objectives used in the
+// paper's computational study (chapter 3): the Rosenbrock "banana" function
+// in arbitrary dimension (eq 3.1 for d=3, eq 3.2 for d=4) and the Powell
+// function in four dimensions (eq 3.3), plus a few standard extras used by
+// this repository's own tests and ablation benchmarks.
+package testfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func bundles an objective with its known minimizer, so experiment harnesses
+// can compute the paper's R (error in function value at convergence) and D
+// (distance of the lowest vertex from the solution) performance measures.
+type Func struct {
+	// Name identifies the function in tables and CLI flags.
+	Name string
+	// Dim is the required dimension; 0 means any dimension >= 2.
+	Dim int
+	// F evaluates the noise-free objective.
+	F func(x []float64) float64
+	// Minimizer returns the known global minimizer for dimension d.
+	Minimizer func(d int) []float64
+	// FMin is the function value at the minimizer.
+	FMin float64
+}
+
+// Rosenbrock is the chained Rosenbrock function
+//
+//	f(x) = sum_{i=1}^{d-1} (1 - x_{i-1})^2 + 100 (x_i - x_{i-1}^2)^2
+//
+// with global minimum 0 at (1, ..., 1). For d=3 this is eq 3.1 of the paper,
+// for d=4 eq 3.2; the MW scale-up study (section 3.4) uses d up to 100.
+func Rosenbrock(x []float64) float64 {
+	if len(x) < 2 {
+		panic("testfunc: Rosenbrock needs dimension >= 2")
+	}
+	sum := 0.0
+	for i := 1; i < len(x); i++ {
+		a := 1 - x[i-1]
+		b := x[i] - x[i-1]*x[i-1]
+		sum += a*a + 100*b*b
+	}
+	return sum
+}
+
+// Powell is the four-dimensional Powell singular function (eq 3.3):
+//
+//	f(x) = (x1 + 10 x2)^2 + 5 (x3 - x4)^2 + (x2 - 2 x3)^4 + 10 (x1 - x4)^4
+//
+// with global minimum 0 at the origin. Its Hessian is singular at the
+// minimum, which makes late-stage progress noise-sensitive — the property the
+// paper exploits in Fig 3.6.
+func Powell(x []float64) float64 {
+	if len(x) != 4 {
+		panic("testfunc: Powell is defined for dimension 4")
+	}
+	a := x[0] + 10*x[1]
+	b := x[2] - x[3]
+	c := x[1] - 2*x[2]
+	d := x[0] - x[3]
+	return a*a + 5*b*b + c*c*c*c + 10*d*d*d*d
+}
+
+// Sphere is sum x_i^2, the easiest convex test case.
+func Sphere(x []float64) float64 {
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	return sum
+}
+
+// SumQuartic is sum x_i^4, a flat-bottomed convex bowl whose shallow minimum
+// basin stresses noise-limited convergence.
+func SumQuartic(x []float64) float64 {
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v * v * v
+	}
+	return sum
+}
+
+// Rastrigin is the classic multimodal test function
+//
+//	f(x) = 10 d + sum_i (x_i^2 - 10 cos(2 pi x_i))
+//
+// with global minimum 0 at the origin and a regular grid of local minima —
+// the regime the paper's future-work section targets with the PSO hybrid
+// ("simplex in general lack[s] the ability to converge to [the] global
+// minimum but converges quickly to a local minimum").
+func Rastrigin(x []float64) float64 {
+	sum := 10 * float64(len(x))
+	for _, v := range x {
+		sum += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return sum
+}
+
+// Beale is the 2-d Beale function, a classic narrow-valley test with minimum
+// 0 at (3, 0.5).
+func Beale(x []float64) float64 {
+	if len(x) != 2 {
+		panic("testfunc: Beale is defined for dimension 2")
+	}
+	a := 1.5 - x[0] + x[0]*x[1]
+	b := 2.25 - x[0] + x[0]*x[1]*x[1]
+	c := 2.625 - x[0] + x[0]*x[1]*x[1]*x[1]
+	return a*a + b*b + c*c
+}
+
+func ones(d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func zeros(d int) []float64 { return make([]float64, d) }
+
+// Catalog lists the functions exposed to CLIs and experiment drivers.
+var Catalog = []Func{
+	{Name: "rosenbrock", Dim: 0, F: Rosenbrock, Minimizer: ones, FMin: 0},
+	{Name: "powell", Dim: 4, F: Powell, Minimizer: zeros, FMin: 0},
+	{Name: "sphere", Dim: 0, F: Sphere, Minimizer: zeros, FMin: 0},
+	{Name: "quartic", Dim: 0, F: SumQuartic, Minimizer: zeros, FMin: 0},
+	{Name: "beale", Dim: 2, F: Beale, Minimizer: func(int) []float64 { return []float64{3, 0.5} }, FMin: 0},
+	{Name: "rastrigin", Dim: 0, F: Rastrigin, Minimizer: zeros, FMin: 0},
+}
+
+// ByName looks up a catalog function.
+func ByName(name string) (Func, error) {
+	for _, f := range Catalog {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Func{}, fmt.Errorf("testfunc: unknown function %q", name)
+}
+
+// Dist returns the Euclidean distance between two points of equal dimension.
+// Experiment drivers use it for the paper's D measure.
+func Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("testfunc: Dist dimension mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,157 @@
+package testfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRosenbrockMinimum(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 10, 100} {
+		x := ones(d)
+		if got := Rosenbrock(x); got != 0 {
+			t.Errorf("Rosenbrock(ones(%d)) = %v, want 0", d, got)
+		}
+	}
+}
+
+func TestRosenbrockKnownValues(t *testing.T) {
+	// f(0,0) = 1; f(-1,1) = 4; f(1,2,3) = 100*(2-1)^2 + (1-2)^2? compute:
+	// i=1: (1-1)^2 + 100*(2-1)^2 = 100
+	// i=2: (1-2)^2 + 100*(3-4)^2 = 1 + 100 = 101 => 201
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{0, 0}, 1},
+		{[]float64{-1, 1}, 4},
+		{[]float64{1, 2, 3}, 201},
+	}
+	for _, c := range cases {
+		if got := Rosenbrock(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Rosenbrock(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRosenbrockPanicsOnDim1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rosenbrock([1]) did not panic")
+		}
+	}()
+	Rosenbrock([]float64{1})
+}
+
+func TestPowellMinimum(t *testing.T) {
+	if got := Powell(zeros(4)); got != 0 {
+		t.Fatalf("Powell(0) = %v, want 0", got)
+	}
+}
+
+func TestPowellKnownValue(t *testing.T) {
+	// x = (3, -1, 0, 1):
+	// (3-10)^2 + 5(0-1)^2 + (-1-0)^4 + 10(3-1)^4 = 49 + 5 + 1 + 160 = 215
+	got := Powell([]float64{3, -1, 0, 1})
+	if math.Abs(got-215) > 1e-12 {
+		t.Fatalf("Powell(3,-1,0,1) = %v, want 215", got)
+	}
+}
+
+func TestPowellPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Powell(dim 3) did not panic")
+		}
+	}()
+	Powell([]float64{1, 2, 3})
+}
+
+func TestBealeMinimum(t *testing.T) {
+	if got := Beale([]float64{3, 0.5}); math.Abs(got) > 1e-12 {
+		t.Fatalf("Beale(3, 0.5) = %v, want 0", got)
+	}
+}
+
+func TestSphereAndQuartic(t *testing.T) {
+	x := []float64{1, -2, 3}
+	if got := Sphere(x); got != 14 {
+		t.Fatalf("Sphere = %v, want 14", got)
+	}
+	if got := SumQuartic(x); got != 1+16+81 {
+		t.Fatalf("SumQuartic = %v, want 98", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("rosenbrock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "rosenbrock" {
+		t.Fatalf("got %q", f.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown function")
+	}
+}
+
+func TestCatalogMinimaAreMinima(t *testing.T) {
+	// Every catalog entry's claimed minimizer must (a) achieve FMin and
+	// (b) be no worse than random nearby perturbations.
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range Catalog {
+		d := f.Dim
+		if d == 0 {
+			d = 4
+		}
+		xmin := f.Minimizer(d)
+		if got := f.F(xmin); math.Abs(got-f.FMin) > 1e-10 {
+			t.Errorf("%s: F(minimizer) = %v, want %v", f.Name, got, f.FMin)
+			continue
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = xmin[i] + (rng.Float64()-0.5)*0.2
+			}
+			if f.F(x) < f.FMin-1e-12 {
+				t.Errorf("%s: found point below claimed minimum: %v", f.Name, x)
+			}
+		}
+	}
+}
+
+// Property: Rosenbrock and Powell are non-negative everywhere (sums of even
+// powers).
+func TestNonNegativityProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		x := []float64{clamp(a), clamp(b), clamp(c), clamp(d)}
+		return Rosenbrock(x) >= 0 && Powell(x) >= 0 && Sphere(x) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if got := Dist([]float64{0, 0}, []float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestDistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dist mismatch did not panic")
+		}
+	}()
+	Dist([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,114 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramRendering(t *testing.T) {
+	h := stats.NewHistogram(-2, 2, 4)
+	h.AddAll([]float64{-1.5, -0.5, -0.5, 0.5, 0.5, 0.5, 1.5})
+	out := Histogram(h, HistogramOptions{Title: "demo", Width: 10, XLabel: "log ratio"})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 4 bins + xlabel
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The fullest bin (3 counts) must carry the longest bar.
+	if !strings.Contains(lines[3], strings.Repeat("#", 10)) {
+		t.Fatalf("max bin bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "n=7") {
+		t.Fatal("missing count annotation")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram(0, 1, 3)
+	out := Histogram(h, HistogramOptions{})
+	if !strings.Contains(out, "0 |") {
+		t.Fatalf("empty histogram render:\n%s", out)
+	}
+}
+
+func TestXYBasic(t *testing.T) {
+	s := []Series{{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}}
+	out := XY(s, XYOptions{Width: 20, Height: 5, Title: "t", XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "line") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Fatal("missing axis labels")
+	}
+}
+
+func TestXYLogAxisDropsNonPositive(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{-1, 1, 10, 100}, Y: []float64{0, 1, 2, 3}}}
+	out := XY(s, XYOptions{LogX: true, Width: 20, Height: 5})
+	if !strings.Contains(out, "1e") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestXYNoData(t *testing.T) {
+	out := XY([]Series{{Name: "empty"}}, XYOptions{})
+	if !strings.Contains(out, "no plottable data") {
+		t.Fatalf("got:\n%s", out)
+	}
+}
+
+func TestXYMultipleSeriesDistinctMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}
+	out := XY(s, XYOptions{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected distinct markers:\n%s", out)
+	}
+}
+
+func TestXYConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}}
+	out := XY(s, XYOptions{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"alg", "N"}, [][]string{{"MN", "76"}, {"PC", "9"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "alg") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line: %q", lines[1])
+	}
+	// Columns aligned: "MN" padded to width 3 ("alg").
+	if !strings.HasPrefix(lines[2], "MN   76") {
+		t.Fatalf("row line: %q", lines[2])
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	out := Table(nil, [][]string{{"a", "b"}})
+	if strings.Contains(out, "---") {
+		t.Fatal("separator without header")
+	}
+}

@@ -1,0 +1,56 @@
+package water
+
+import "testing"
+
+func BenchmarkSurrogateSample(b *testing.B) {
+	s := NewSurrogate(1.0, 1)
+	s.Start(TIP4PParams().Vec())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample(1)
+		if _, _, t := s.Report(); t == 0 {
+			b.Fatal("no time accrued")
+		}
+	}
+}
+
+func BenchmarkNoiseFreeProperties(b *testing.B) {
+	theta := TIP4PParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		props := NoiseFreeProperties(theta)
+		if props[PropU] >= 0 {
+			b.Fatal("bad U")
+		}
+	}
+}
+
+func BenchmarkRDFResidual(b *testing.B) {
+	theta := TIP4PParams()
+	for i := 0; i < b.N; i++ {
+		if RDFResidual(PropGOO, theta) < 0 {
+			b.Fatal("negative residual")
+		}
+	}
+}
+
+// BenchmarkMDEvaluation is the real-engine cost reference: one tiny MD
+// property evaluation (the quantity the surrogate replaces in the repeated
+// optimization studies).
+func BenchmarkMDEvaluation(b *testing.B) {
+	if testing.Short() {
+		b.Skip("MD evaluation is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		props, err := RealProperties(TIP4PParams(), MDConfig{
+			N: 8, EquilSteps: 20, ProdSteps: 30, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if props[PropU] >= 0 {
+			b.Fatal("bad MD energy")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package water
+
+import (
+	"fmt"
+
+	"repro/internal/md"
+)
+
+// MDConfig sizes a real molecular-dynamics property evaluation.
+type MDConfig struct {
+	// N is the number of water molecules (perfect cube; 0 selects 64).
+	N int
+	// EquilSteps / ProdSteps size the two phases (0 selects 300/500).
+	EquilSteps, ProdSteps int
+	// Dt is the timestep in fs (0 selects 1.0).
+	Dt float64
+	// Seed seeds the initial configuration and velocities.
+	Seed int64
+}
+
+// RealProperties evaluates the six cost-function properties with a genuine
+// rigid-TIP4P molecular dynamics run (NVT equilibration + NVE production),
+// the engine behind cmd/waterfit -md-only. The RDF residuals compare the
+// measured curves against the parametric experimental references on the
+// paper's eq 3.5 window.
+func RealProperties(theta Params, cfg MDConfig) ([NumProperties]float64, error) {
+	var out [NumProperties]float64
+	if cfg.N == 0 {
+		cfg.N = 64
+	}
+	if cfg.EquilSteps == 0 {
+		cfg.EquilSteps = 300
+	}
+	if cfg.ProdSteps == 0 {
+		cfg.ProdSteps = 500
+	}
+	if cfg.Dt == 0 {
+		cfg.Dt = 1.0
+	}
+
+	model := md.TIP4P()
+	model.EpsilonOO = theta.Epsilon
+	model.SigmaOO = theta.Sigma
+	model.QH = theta.QH
+
+	sys, err := md.NewSystem(md.Config{N: cfg.N, Model: model, Seed: cfg.Seed})
+	if err != nil {
+		return out, fmt.Errorf("water: building MD system: %w", err)
+	}
+	props, err := sys.Run(md.RunConfig{
+		Dt:         cfg.Dt,
+		EquilSteps: cfg.EquilSteps,
+		ProdSteps:  cfg.ProdSteps,
+	})
+	if err != nil {
+		return out, fmt.Errorf("water: MD run: %w", err)
+	}
+
+	out[PropU] = props.EnergyKJPerMol
+	out[PropP] = props.PressureAtm
+	out[PropD] = props.DiffusionCm2PerS
+	out[PropGOO] = mdRDFResidual(props.GOO, PropGOO)
+	out[PropGOH] = mdRDFResidual(props.GOH, PropGOH)
+	out[PropGHH] = mdRDFResidual(props.GHH, PropGHH)
+	return out, nil
+}
+
+// mdRDFResidual evaluates eq 3.5 between a measured RDF and the experimental
+// reference curve, over the overlap of the measurement range and the paper's
+// integration window.
+func mdRDFResidual(rdf *md.RDF, pair Property) float64 {
+	rs, _ := rdf.Curve()
+	ref := make([]float64, len(rs))
+	for i, r := range rs {
+		ref[i] = ExperimentalRDF(pair, r)
+	}
+	rmax := rdfRMax
+	if rs[len(rs)-1] < rmax {
+		rmax = rs[len(rs)-1]
+	}
+	return rdf.RMSDeviation(ref, rdfRMin, rmax)
+}

@@ -1,0 +1,114 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mw"
+)
+
+func TestPartialsSumToFullCost(t *testing.T) {
+	for _, theta := range []Params{TIP4PParams(), {0.2, 3.0, 0.54}, thetaStar} {
+		sum := 0.0
+		for sys := 0; sys < NumSystems; sys++ {
+			sum += PartialCostNoiseFree(sys, theta)
+		}
+		if full := NoiseFreeCost(theta.Vec()); math.Abs(sum-full) > 1e-12*(1+full) {
+			t.Errorf("theta %+v: partials sum %v != full %v", theta, sum, full)
+		}
+	}
+}
+
+func TestPartialSurrogateNoiselessReport(t *testing.T) {
+	theta := TIP4PParams()
+	total := 0.0
+	for sys := 0; sys < NumSystems; sys++ {
+		p := NewPartialSurrogate(sys, 0, int64(sys))
+		p.Start(theta.Vec())
+		p.Sample(1)
+		mean, variance, _ := p.Report()
+		if variance != 0 {
+			t.Fatalf("system %d noiseless variance = %v", sys, variance)
+		}
+		total += mean / NumSystems
+	}
+	if full := NoiseFreeCost(theta.Vec()); math.Abs(total-full) > 1e-12 {
+		t.Fatalf("aggregated %v != full %v", total, full)
+	}
+}
+
+func TestPartialSurrogateRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPartialSurrogate(NumSystems, 1, 1)
+}
+
+// Through the genuine vertex pipeline with Ns = NumSystems clients, the
+// aggregated noiseless estimate must equal the full cost exactly — the exact
+// structure of the paper's water deployment.
+func TestMultiSystemVertexAggregation(t *testing.T) {
+	vw, err := mw.NewVertexWorker(mw.VertexWorkerConfig{
+		Ns: NumSystems,
+		NewSystem: func(sys int) mw.SystemEvaluator {
+			return NewPartialSurrogate(sys, 0, int64(100+sys))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vw.Close()
+
+	theta := Params{0.17, 3.2, 0.53}
+	if err := vw.Execute(mw.NewStartOp(theta.Vec())); err != nil {
+		t.Fatal(err)
+	}
+	samp := mw.NewSampleOp(2)
+	if err := vw.Execute(samp); err != nil {
+		t.Fatal(err)
+	}
+	want := NoiseFreeCost(theta.Vec())
+	if math.Abs(samp.Mean-want) > 1e-9*(1+want) {
+		t.Fatalf("vertex-aggregated cost %v, want %v", samp.Mean, want)
+	}
+	if samp.Variance != 0 {
+		t.Fatalf("noiseless aggregated variance = %v", samp.Variance)
+	}
+}
+
+// With noise, the multi-system estimate must converge to the full cost and
+// its reported variance must shrink with sampling.
+func TestMultiSystemVertexNoisyConvergence(t *testing.T) {
+	vw, err := mw.NewVertexWorker(mw.VertexWorkerConfig{
+		Ns: NumSystems,
+		NewSystem: func(sys int) mw.SystemEvaluator {
+			return NewPartialSurrogate(sys, 1.0, int64(200+sys))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vw.Close()
+
+	theta := TIP4PParams()
+	if err := vw.Execute(mw.NewStartOp(theta.Vec())); err != nil {
+		t.Fatal(err)
+	}
+	s1 := mw.NewSampleOp(1)
+	if err := vw.Execute(s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mw.NewSampleOp(400)
+	if err := vw.Execute(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Variance >= s1.Variance {
+		t.Fatalf("variance did not shrink: %v -> %v", s1.Variance, s2.Variance)
+	}
+	want := NoiseFreeCost(theta.Vec())
+	if math.Abs(s2.Mean-want) > 6*math.Sqrt(s2.Variance)+0.05 {
+		t.Fatalf("converged estimate %v too far from %v", s2.Mean, want)
+	}
+}

@@ -1,0 +1,54 @@
+package water
+
+// Experimental target values p0 of eq 3.4, as cited in the paper (Soper
+// 2000; Mahoney & Jorgensen 2000; Eisenberg & Kauzmann 1969): U = -41.5
+// kJ/mol, P = 1 atm at the experimental density, D = 2.27e-5 cm^2/s, and
+// zero for the RDF residuals (a perfect fit to the experimental curves).
+var Targets = [NumProperties]float64{
+	PropD:   2.27e-5,
+	PropGHH: 0,
+	PropGOH: 0,
+	PropGOO: 0,
+	PropP:   1,
+	PropU:   -41.5,
+}
+
+// Scales normalizes each residual. Eq 3.4 divides by (p0)^2, which is
+// undefined for the zero-target RDF residuals and dominated by the tiny
+// 1-atm pressure target; the paper notes the weights were "chosen
+// subjectively to balance the level of error in each property", which is
+// exactly what these per-property scales implement.
+var Scales = [NumProperties]float64{
+	PropD:   2.27e-5,
+	PropGHH: 0.10,
+	PropGOH: 0.10,
+	PropGOO: 0.10,
+	PropP:   373, // the TIP4P-scale pressure deviation
+	PropU:   41.5,
+}
+
+// Weights are the w_i of eq 3.4.
+var Weights = [NumProperties]float64{
+	PropD:   1.0,
+	PropGHH: 0.7,
+	PropGOH: 0.7,
+	PropGOO: 1.0,
+	PropP:   0.3,
+	PropU:   1.0,
+}
+
+// Cost evaluates eq 3.4 on a property vector:
+// g = sum_i w_i^2 (p_i - p0_i)^2 / s_i^2.
+func Cost(props [NumProperties]float64) float64 {
+	g := 0.0
+	for i := Property(0); i < NumProperties; i++ {
+		r := (props[i] - Targets[i]) / Scales[i]
+		g += Weights[i] * Weights[i] * r * r
+	}
+	return g
+}
+
+// costGradient returns d cost / d p_i at the given property vector.
+func costGradient(props [NumProperties]float64, i Property) float64 {
+	return 2 * Weights[i] * Weights[i] * (props[i] - Targets[i]) / (Scales[i] * Scales[i])
+}

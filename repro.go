@@ -1,0 +1,120 @@
+// Package repro is the public facade of this reproduction of "Automated,
+// Parallel Optimization Algorithms for Stochastic Functions" (Chahal, 2011).
+//
+// The library optimizes objective functions observed through sampling noise
+// whose variance decays as sigma0^2/t with accumulated sampling time t
+// (eq 1.2 of the paper). Four Nelder-Mead-derived decision policies are
+// provided — DET (deterministic), MN (max-noise, Algorithm 2), PC
+// (point-to-point comparison, Algorithm 3) and PCMN (both, Algorithm 4) —
+// plus the Anderson et al. criterion as a baseline.
+//
+// Minimal use:
+//
+//	space := repro.NewLocalSpace(repro.LocalConfig{
+//		Dim:      4,
+//		F:        myObjective,          // underlying deterministic value
+//		Sigma0:   repro.ConstSigma(10), // eq 1.2 noise strength
+//		Parallel: true,
+//	})
+//	cfg := repro.DefaultConfig(repro.PC)
+//	cfg.MaxWalltime = 1e5 // virtual seconds of sampling budget
+//	res, err := repro.Optimize(space, initialSimplex, cfg)
+//
+// For the paper's parallel deployment (master, d+3 vertex workers, servers
+// and simulation clients over the MW framework), build a space with
+// NewMWSpace; both backends satisfy the same Space interface, so the
+// optimizer code is identical.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/mw"
+	"repro/internal/sim"
+)
+
+// Re-exported algorithm selectors.
+const (
+	// DET is the deterministic downhill simplex (Algorithm 1).
+	DET = core.DET
+	// MN is the max-noise algorithm (Algorithm 2).
+	MN = core.MN
+	// PC is the point-to-point comparison algorithm (Algorithm 3).
+	PC = core.PC
+	// PCMN combines PC and MN (Algorithm 4).
+	PCMN = core.PCMN
+	// AndersonNM applies the Anderson et al. noise criterion (eq 2.4).
+	AndersonNM = core.AndersonNM
+)
+
+// Core optimizer types.
+type (
+	// Algorithm selects the simplex decision policy.
+	Algorithm = core.Algorithm
+	// Config controls an optimization run.
+	Config = core.Config
+	// Result summarizes a completed optimization.
+	Result = core.Result
+	// TraceEvent is emitted once per simplex iteration.
+	TraceEvent = core.TraceEvent
+	// ConditionMask selects which PC conditions use error bars.
+	ConditionMask = core.ConditionMask
+)
+
+// Sampling-space types.
+type (
+	// Space is the sampling backend interface optimizers consume.
+	Space = sim.Space
+	// Point is one sampled location in parameter space.
+	Point = sim.Point
+	// Estimate is a point's current running mean, sigma and sampling time.
+	Estimate = sim.Estimate
+	// LocalConfig configures the in-process backend.
+	LocalConfig = sim.LocalConfig
+	// MWSpaceConfig configures the parallel master-worker backend.
+	MWSpaceConfig = mw.SpaceConfig
+	// SystemEvaluator is one simulation system under a vertex server.
+	SystemEvaluator = mw.SystemEvaluator
+)
+
+// DefaultConfig returns the paper's default parameters for an algorithm.
+func DefaultConfig(alg Algorithm) Config { return core.DefaultConfig(alg) }
+
+// ParseAlgorithm converts a CLI name ("det", "mn", "pc", "pc+mn",
+// "anderson") into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Conditions builds an error-bar mask from PC condition numbers 1..7.
+func Conditions(nums ...int) ConditionMask { return core.Conditions(nums...) }
+
+// AllConditions enables error bars in every PC condition.
+const AllConditions = core.AllConditions
+
+// Optimize runs the configured stochastic simplex from the initial simplex
+// (d+1 vertices of dimension d).
+func Optimize(space Space, initial [][]float64, cfg Config) (*Result, error) {
+	return core.Optimize(space, initial, cfg)
+}
+
+// RestartConfig wraps a Config with the restart strategy of the paper's
+// section 1.3.5.1 (rebuild a fresh simplex around the incumbent after each
+// convergence), the antidote to premature simplex collapse in long noisy
+// valleys.
+type RestartConfig = core.RestartConfig
+
+// OptimizeWithRestarts runs Optimize and then the configured number of
+// restarts from fresh simplices around the best point, returning the best
+// result with accumulated effort counters.
+func OptimizeWithRestarts(space Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
+	return core.OptimizeWithRestarts(space, initial, rcfg)
+}
+
+// NewLocalSpace builds the in-process sampling backend.
+func NewLocalSpace(cfg LocalConfig) Space { return sim.NewLocalSpace(cfg) }
+
+// ConstSigma adapts a constant eq-1.2 noise strength to LocalConfig.Sigma0.
+func ConstSigma(s float64) func([]float64) float64 { return sim.ConstSigma(s) }
+
+// NewMWSpace launches the paper's full parallel deployment: one master,
+// Dim+3 vertex workers, one server and Ns simulation clients per worker.
+// Call Shutdown on the returned space when done.
+func NewMWSpace(cfg MWSpaceConfig) (*mw.Space, error) { return mw.NewSpace(cfg) }
