@@ -18,12 +18,29 @@ import (
 
 func main() {
 	var (
-		runName = flag.String("run", "", "experiment to run (e.g. Table3.1, Fig3.5), or 'all'")
-		quick   = flag.Bool("quick", false, "reduced protocol for smoke runs")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		list    = flag.Bool("list", false, "list available experiments")
+		runName   = flag.String("run", "", "experiment to run (e.g. Table3.1, Fig3.5), or 'all'")
+		quick     = flag.Bool("quick", false, "reduced protocol for smoke runs")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		list      = flag.Bool("list", false, "list available experiments")
+		benchJSON = flag.String("benchjson", "", "write the BenchSched scaling study as JSON to this path (BENCH_sched.json)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		payload, err := experiments.SchedScalingJSON(experiments.Options{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(payload, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		if *runName == "" && !*list {
+			return
+		}
+	}
 
 	if *list || *runName == "" {
 		fmt.Println("Available experiments:")

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"repro/internal/sim"
 	"repro/internal/testfunc"
 )
 
@@ -40,6 +43,38 @@ func benchIterations(b *testing.B, alg Algorithm, sigma float64) {
 		iters += res.Iterations
 	}
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}
+
+// BenchmarkOptimizeExpensiveWorkers runs full MN optimizations where each
+// sampling increment waits on an external simulation (latency-bound
+// SampleCost), at increasing sched worker counts. The speedup over the
+// workers=1 row is the end-to-end payoff of concurrent batch sampling; the
+// results themselves are bitwise identical across rows.
+func BenchmarkOptimizeExpensiveWorkers(b *testing.B) {
+	start := [][]float64{{-3, -3, -3}, {4, -2, 1}, {-1, 3, -2}, {2, 2, 4}}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp := sim.NewLocalSpace(sim.LocalConfig{
+					Dim:        3,
+					F:          testfunc.Rosenbrock,
+					Sigma0:     sim.ConstSigma(50),
+					Seed:       1,
+					Parallel:   true,
+					Workers:    workers,
+					SampleCost: func([]float64, float64) { time.Sleep(50 * time.Microsecond) },
+				})
+				cfg := DefaultConfig(MN)
+				cfg.MaxIterations = 30
+				cfg.Tol = 0
+				cfg.MaxWalltime = 0
+				if _, err := Optimize(sp, start, cfg); err != nil {
+					b.Fatal(err)
+				}
+				sp.Close()
+			}
+		})
+	}
 }
 
 // BenchmarkRestarts measures the restart wrapper overhead.

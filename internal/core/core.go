@@ -350,7 +350,8 @@ type Result struct {
 	// Evaluations is the total number of sampling increments issued.
 	Evaluations int64
 	// Termination names the criterion that stopped the run: "tolerance",
-	// "walltime", or "iterations".
+	// "walltime", "iterations", or "canceled" (the OptimizeContext context
+	// ended; the result holds the best vertex found up to that point).
 	Termination string
 	// Moves counts the transformations applied.
 	Moves MoveStats

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,16 @@ import (
 // not automate ("the total cost of the optimization can depend dramatically
 // on the initial state of the simplex").
 func Optimize(space sim.Space, initial [][]float64, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), space, initial, cfg)
+}
+
+// OptimizeContext is Optimize with cancellation: every sampling batch is
+// dispatched through the space's concurrent path (sim.BatchSampler) under
+// ctx. Cancellation is a termination criterion, not an error — the run stops
+// within one sampling round, the in-progress iteration is abandoned, and the
+// returned Result reports Termination "canceled" with the best vertex found
+// so far.
+func OptimizeContext(ctx context.Context, space sim.Space, initial [][]float64, cfg Config) (*Result, error) {
 	d := space.Dim()
 	if err := cfg.validate(d); err != nil {
 		return nil, err
@@ -27,7 +38,10 @@ func Optimize(space sim.Space, initial [][]float64, cfg Config) (*Result, error)
 			return nil, fmt.Errorf("core: initial vertex %d has dimension %d, want %d", i, len(v), d)
 		}
 	}
-	o := &optimizer{space: space, cfg: cfg, d: d, clock: space.Clock()}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := &optimizer{space: space, cfg: cfg, d: d, clock: space.Clock(), ctx: ctx}
 	o.start = o.clock.Now()
 	o.verts = make([]sim.Point, d+1)
 	for i, v := range initial {
@@ -35,7 +49,10 @@ func Optimize(space sim.Space, initial [][]float64, cfg Config) (*Result, error)
 	}
 	// All initial vertices sample concurrently: the MW deployment keeps one
 	// worker per vertex busy from the start (section 3.1).
-	space.SampleAll(o.verts, cfg.InitialSample)
+	if err := o.sampleAll(o.verts, cfg.InitialSample); err != nil && o.term == "" {
+		o.finish()
+		return nil, err
+	}
 	return o.run()
 }
 
@@ -44,6 +61,7 @@ type optimizer struct {
 	cfg   Config
 	d     int
 	clock *vtime.Clock
+	ctx   context.Context
 	start float64
 
 	verts    []sim.Point // d+1 simplex vertices
@@ -77,6 +95,15 @@ func (o *optimizer) run() (*Result, error) {
 			err = errors.New("core: unknown algorithm")
 		}
 		if err != nil {
+			if o.term == "canceled" {
+				// Cancellation surfaced mid-iteration: the step abandoned its
+				// move; report what was found so far.
+				break
+			}
+			// A backend failure (e.g. a dead MW worker) aborts the run; the
+			// steps closed their trial points, finish closes the vertices so
+			// their worker ranks are released for the next run on the space.
+			o.finish()
 			return nil, err
 		}
 		o.res.Iterations++
@@ -85,6 +112,17 @@ func (o *optimizer) run() (*Result, error) {
 	}
 	o.finish()
 	return &o.res, nil
+}
+
+// sampleAll dispatches one concurrent sampling batch under the run context.
+// On cancellation it records the "canceled" termination; any other error
+// (a failed backend worker) is passed through for the caller to propagate.
+func (o *optimizer) sampleAll(points []sim.Point, dt float64) error {
+	err := sim.SampleBatch(o.ctx, o.space, points, dt)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		o.term = "canceled"
+	}
+	return err
 }
 
 func (o *optimizer) stepOverhead() {
@@ -117,6 +155,8 @@ func (o *optimizer) checkTermination() bool {
 		return true
 	}
 	switch {
+	case o.ctx.Err() != nil:
+		o.term = "canceled"
 	case o.spread() <= o.cfg.Tol:
 		o.term = "tolerance"
 	case o.cfg.MaxWalltime > 0 && o.elapsed() >= o.cfg.MaxWalltime:
@@ -233,10 +273,15 @@ func contractPoint(xmax, cent []float64) []float64 {
 }
 
 // newSampled creates a point and gives it the initial sampling allotment.
-func (o *optimizer) newSampled(x []float64) sim.Point {
+// On a sampling error the point is already closed; the caller just abandons
+// the iteration.
+func (o *optimizer) newSampled(x []float64) (sim.Point, error) {
 	p := o.space.NewPoint(x)
-	o.space.SampleAll([]sim.Point{p}, o.cfg.InitialSample)
-	return p
+	if err := o.sampleAll([]sim.Point{p}, o.cfg.InitialSample); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
 }
 
 // replace installs p as vertex i, closing the displaced point.
@@ -247,7 +292,9 @@ func (o *optimizer) replace(i int, p sim.Point) {
 
 // collapse moves every vertex except imin halfway toward the best vertex and
 // restarts sampling there. The contraction level increases by d (section 2.2).
-func (o *optimizer) collapse(imin int) {
+// The fresh vertices are installed before the batch, so even on a canceled
+// batch every live point is tracked (and closed by finish).
+func (o *optimizer) collapse(imin int) error {
 	xmin := o.verts[imin].X()
 	fresh := make([]sim.Point, 0, o.d)
 	for i := range o.verts {
@@ -260,9 +307,10 @@ func (o *optimizer) collapse(imin int) {
 		o.verts[i] = p
 		fresh = append(fresh, p)
 	}
-	o.space.SampleAll(fresh, o.cfg.InitialSample)
+	err := o.sampleAll(fresh, o.cfg.InitialSample)
 	o.level += o.d
 	o.res.Moves.Collapses++
+	return err
 }
 
 func (o *optimizer) emitTrace() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,13 @@ type RestartConfig struct {
 // iteration counts and sampling statistics are accumulated into the returned
 // Result.
 func OptimizeWithRestarts(space sim.Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
+	return OptimizeWithRestartsContext(context.Background(), space, initial, rcfg)
+}
+
+// OptimizeWithRestartsContext is OptimizeWithRestarts with cancellation: a
+// canceled context ends the current leg (Termination "canceled") and skips
+// the remaining restarts.
+func OptimizeWithRestartsContext(ctx context.Context, space sim.Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
 	if rcfg.Restarts < 0 {
 		return nil, errors.New("core: RestartConfig.Restarts must be >= 0")
 	}
@@ -51,16 +59,16 @@ func OptimizeWithRestarts(space sim.Space, initial [][]float64, rcfg RestartConf
 		return nil, errors.New("core: RestartConfig.ScaleDecay must be in (0, 1]")
 	}
 
-	best, err := Optimize(space, initial, rcfg.Config)
+	best, err := OptimizeContext(ctx, space, initial, rcfg.Config)
 	if err != nil {
 		return nil, err
 	}
 	total := *best
 
 	scale := append([]float64(nil), rcfg.Scale...)
-	for r := 0; r < rcfg.Restarts; r++ {
+	for r := 0; r < rcfg.Restarts && best.Termination != "canceled"; r++ {
 		fresh := simplexAround(best.BestX, scale)
-		leg, err := Optimize(space, fresh, rcfg.Config)
+		leg, err := OptimizeContext(ctx, space, fresh, rcfg.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +83,10 @@ func OptimizeWithRestarts(space sim.Space, initial [][]float64, rcfg RestartConf
 			total.FinalSpread = leg.FinalSpread
 			total.Termination = leg.Termination
 			total.ContractionLevel = leg.ContractionLevel
+		}
+		if leg.Termination == "canceled" {
+			total.Termination = "canceled"
+			break
 		}
 		for i := range scale {
 			scale[i] *= decay

@@ -58,11 +58,11 @@ func (d *decisionClock) allow(dt float64) (step float64, ok, forced bool) {
 }
 
 // waitLoop samples all vertices until the policy's noise condition clears,
-// the decision budget or round cap forces a decision, or the walltime budget
-// runs out.
-func (o *optimizer) waitLoop(policy waitPolicy) {
+// the decision budget or round cap forces a decision, the walltime budget
+// runs out, or the run context is canceled.
+func (o *optimizer) waitLoop(policy waitPolicy) error {
 	if policy == waitNone {
-		return
+		return nil
 	}
 	dt := o.cfg.Resample
 	dec := o.newDecision()
@@ -72,12 +72,15 @@ func (o *optimizer) waitLoop(policy waitPolicy) {
 			if forced {
 				o.res.ForcedDecisions++
 			}
-			return
+			return nil
 		}
-		o.space.SampleAll(o.verts, step)
+		if err := o.sampleAll(o.verts, step); err != nil {
+			return err
+		}
 		dt *= o.cfg.ResampleGrowth
 		o.res.WaitRounds++
 	}
+	return nil
 }
 
 // waitConditionHolds reports whether sampling must continue before a decision.
@@ -136,7 +139,9 @@ func (o *optimizer) waitConditionHolds(policy waitPolicy) bool {
 // expansion / reflection-accept / contraction / collapse, deciding on the
 // plain running means. The wait policy runs first.
 func (o *optimizer) stepNM(policy waitPolicy) error {
-	o.waitLoop(policy)
+	if err := o.waitLoop(policy); err != nil {
+		return err
+	}
 
 	imax, _, imin := o.order()
 	cent := o.centroid(imax)
@@ -144,12 +149,19 @@ func (o *optimizer) stepNM(policy waitPolicy) error {
 	gmax := o.verts[imax].Estimate().Mean
 	gmin := o.verts[imin].Estimate().Mean
 
-	ref := o.newSampled(reflectPoint(cent, xmax))
+	ref, err := o.newSampled(reflectPoint(cent, xmax))
+	if err != nil {
+		return err
+	}
 	gref := ref.Estimate().Mean
 
 	switch {
 	case gref < gmin:
-		exp := o.newSampled(expandPoint(ref.X(), cent))
+		exp, err := o.newSampled(expandPoint(ref.X(), cent))
+		if err != nil {
+			ref.Close()
+			return err
+		}
 		if exp.Estimate().Mean < gref {
 			o.replace(imax, exp)
 			ref.Close()
@@ -169,7 +181,11 @@ func (o *optimizer) stepNM(policy waitPolicy) error {
 		o.lastMove = MoveReflect
 		o.res.Moves.Reflections++
 	default:
-		con := o.newSampled(contractPoint(xmax, cent))
+		con, err := o.newSampled(contractPoint(xmax, cent))
+		if err != nil {
+			ref.Close()
+			return err
+		}
 		if con.Estimate().Mean < gmax {
 			o.replace(imax, con)
 			ref.Close()
@@ -179,7 +195,9 @@ func (o *optimizer) stepNM(policy waitPolicy) error {
 		} else {
 			ref.Close()
 			con.Close()
-			o.collapse(imin)
+			if err := o.collapse(imin); err != nil {
+				return err
+			}
 			o.lastMove = MoveCollapse
 		}
 	}
@@ -218,14 +236,15 @@ func (o *optimizer) confidentlyGEq(a, b sim.Point, cond int) bool {
 // cost ("objective function evaluations must be kept active on each of the
 // d+1 vertices until it is certain that they are no longer needed"). Under
 // ScopePair only the two compared points sample. Returns false when the
-// budget or the round cap is exhausted and the decision must be forced.
-func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) bool {
+// budget or the round cap is exhausted and the decision must be forced, or
+// when the batch errored (cancellation) and the iteration must be abandoned.
+func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) (bool, error) {
 	step, ok, forced := dec.allow(*dt)
 	if !ok {
 		if forced {
 			o.res.ForcedDecisions++
 		}
-		return false
+		return false, nil
 	}
 	var batch []sim.Point
 	if o.cfg.Scope == ScopePair {
@@ -235,10 +254,12 @@ func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) bo
 		batch = append(batch, o.verts...)
 		batch = append(batch, o.trials...)
 	}
-	o.space.SampleAll(batch, step)
+	if err := o.sampleAll(batch, step); err != nil {
+		return false, err
+	}
 	*dt *= o.cfg.ResampleGrowth
 	o.res.ResampleRounds++
-	return true
+	return true, nil
 }
 
 // stepPC performs one iteration of the point-to-point comparison algorithm
@@ -247,7 +268,9 @@ func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) bo
 // the package comment for the c5 symmetry note.
 func (o *optimizer) stepPC(withMaxNoise bool) error {
 	if withMaxNoise {
-		o.waitLoop(waitMaxNoise)
+		if err := o.waitLoop(waitMaxNoise); err != nil {
+			return err
+		}
 	}
 
 	imax, ismax, imin := o.order()
@@ -256,8 +279,10 @@ func (o *optimizer) stepPC(withMaxNoise bool) error {
 	smax := o.verts[ismax]
 	min := o.verts[imin]
 
-	ref := o.space.NewPoint(reflectPoint(cent, max.X()))
-	o.space.SampleAll([]sim.Point{ref}, o.cfg.InitialSample)
+	ref, err := o.newSampled(reflectPoint(cent, max.X()))
+	if err != nil {
+		return err
+	}
 	o.trials = []sim.Point{ref}
 	defer func() { o.trials = nil }()
 
@@ -280,7 +305,12 @@ func (o *optimizer) stepPC(withMaxNoise bool) error {
 		default:
 			// Indeterminate band between c1 and c5: resample "until
 			// condition 1 or 5 is satisfied" (all active points accrue).
-			if !o.resample(ref, smax, &dt, dec) {
+			ok, err := o.resample(ref, smax, &dt, dec)
+			if err != nil {
+				ref.Close()
+				return err
+			}
+			if !ok {
 				// Forced decision on means.
 				if ref.Estimate().Mean < smax.Estimate().Mean {
 					if ref.Estimate().Mean >= min.Estimate().Mean {
@@ -300,8 +330,11 @@ func (o *optimizer) stepPC(withMaxNoise bool) error {
 // pcExpansion handles conditions 3 and 4: the reflected point may be a new
 // best, so the expansion point is evaluated and compared against it.
 func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
-	exp := o.space.NewPoint(expandPoint(ref.X(), cent))
-	o.space.SampleAll([]sim.Point{exp}, o.cfg.InitialSample)
+	exp, err := o.newSampled(expandPoint(ref.X(), cent))
+	if err != nil {
+		ref.Close()
+		return err
+	}
 	o.trials = []sim.Point{ref, exp}
 	dt := o.cfg.Resample
 	dec := o.newDecision()
@@ -321,7 +354,13 @@ func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
 			o.res.Moves.Reflections++
 			return nil
 		default:
-			if !o.resample(exp, ref, &dt, dec) {
+			ok, err := o.resample(exp, ref, &dt, dec)
+			if err != nil {
+				ref.Close()
+				exp.Close()
+				return err
+			}
+			if !ok {
 				if exp.Estimate().Mean < ref.Estimate().Mean {
 					o.replace(imax, exp)
 					ref.Close()
@@ -344,8 +383,11 @@ func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
 // contraction point is evaluated against the worst vertex; if even the
 // contraction cannot beat it, the simplex collapses toward the best vertex.
 func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []float64) error {
-	con := o.space.NewPoint(contractPoint(max.X(), cent))
-	o.space.SampleAll([]sim.Point{con}, o.cfg.InitialSample)
+	con, err := o.newSampled(contractPoint(max.X(), cent))
+	if err != nil {
+		ref.Close()
+		return err
+	}
 	o.trials = []sim.Point{ref, con}
 	dt := o.cfg.Resample
 	dec := o.newDecision()
@@ -361,11 +403,19 @@ func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []flo
 		case o.confidentlyGEq(con, max, 7): // condition 7: collapse
 			ref.Close()
 			con.Close()
-			o.collapse(imin)
+			if err := o.collapse(imin); err != nil {
+				return err
+			}
 			o.lastMove = MoveCollapse
 			return nil
 		default:
-			if !o.resample(con, max, &dt, dec) {
+			ok, err := o.resample(con, max, &dt, dec)
+			if err != nil {
+				ref.Close()
+				con.Close()
+				return err
+			}
+			if !ok {
 				if con.Estimate().Mean < max.Estimate().Mean {
 					o.replace(imax, con)
 					ref.Close()
@@ -375,7 +425,9 @@ func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []flo
 				} else {
 					ref.Close()
 					con.Close()
-					o.collapse(imin)
+					if err := o.collapse(imin); err != nil {
+						return err
+					}
 					o.lastMove = MoveCollapse
 				}
 				return nil

@@ -89,6 +89,7 @@ func Registry() []Driver {
 		{"Fig3.18", "MW scale-up: d=20/50/100 time, steps, time/step", Fig318},
 		{"Fig3.19", "Optimized gOO(r) vs TIP4P and experiment", Fig319},
 		{"Fig3.20", "gOO(r) at successive optimization stages", Fig320},
+		{"BenchSched", "sched worker-pool scaling of SampleAll on an expensive objective", BenchSched},
 	}
 }
 

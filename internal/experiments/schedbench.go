@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+	"repro/internal/textplot"
+)
+
+// This file is the expensive-objective scenario behind BENCH_sched.json: it
+// measures how LocalSpace.SampleAll scales with the sched worker count when
+// each sampling increment actually costs something, and verifies that the
+// concurrency never changes a single bit of the sampled estimates.
+//
+// Two cost models bracket real deployments:
+//
+//   - cpu: each increment burns local CPU (an in-process MD segment). Wall
+//     time scales with physical cores; on a single-core host it is flat.
+//   - latency: each increment waits on an external resource (a remote worker,
+//     a file-spool round-trip — the paper's deployment shape). Concurrent
+//     dispatch overlaps the waits, so the speedup tracks the worker count
+//     regardless of core count.
+
+// SpinCost returns a SampleCost hook that burns roughly n floating-point
+// operations per increment.
+func SpinCost(n int) func([]float64, float64) {
+	return func([]float64, float64) {
+		x := 1.0
+		for i := 0; i < n; i++ {
+			x = math.Sqrt(x + float64(i&7))
+		}
+		if x < 0 {
+			panic("unreachable")
+		}
+	}
+}
+
+// LatencyCost returns a SampleCost hook that waits d per increment,
+// modelling an external simulation the process does not execute itself.
+func LatencyCost(d time.Duration) func([]float64, float64) {
+	return func([]float64, float64) { time.Sleep(d) }
+}
+
+// SchedRun is one row of the scaling study.
+type SchedRun struct {
+	// Workers is the sched pool size.
+	Workers int
+	// CPUSeconds / LatencySeconds are the measured wall seconds for the
+	// full batch sequence under each cost model.
+	CPUSeconds, LatencySeconds float64
+	// CPUSpeedup / LatencySpeedup are relative to the Workers=1 row.
+	CPUSpeedup, LatencySpeedup float64
+}
+
+// SchedScalingResult is the full study, serialized into BENCH_sched.json.
+type SchedScalingResult struct {
+	// Batch is the points per SampleAll (d+3 with d=13, the paper's shape).
+	Batch int `json:"batch"`
+	// Rounds is the number of SampleAll batches timed.
+	Rounds int `json:"rounds"`
+	// NumCPU records the host's core count (CPU rows cannot exceed it).
+	NumCPU int `json:"num_cpu"`
+	// Deterministic reports whether every worker count produced bitwise
+	// identical estimates.
+	Deterministic bool       `json:"deterministic"`
+	Runs          []SchedRun `json:"runs"`
+}
+
+func (r SchedRun) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Workers        int     `json:"workers"`
+		CPUSeconds     float64 `json:"cpu_seconds"`
+		CPUSpeedup     float64 `json:"cpu_speedup"`
+		LatencySeconds float64 `json:"latency_seconds"`
+		LatencySpeedup float64 `json:"latency_speedup"`
+	}
+	return json.Marshal(row{r.Workers, r.CPUSeconds, r.CPUSpeedup, r.LatencySeconds, r.LatencySpeedup})
+}
+
+// schedWorkload runs the timed batch sequence on a fresh space and returns
+// the elapsed wall seconds plus every point's final mean (the determinism
+// fingerprint).
+func schedWorkload(workers, batch, rounds int, cost func([]float64, float64)) (float64, []float64) {
+	s := sim.NewLocalSpace(sim.LocalConfig{
+		Dim:        3,
+		F:          testfunc.Rosenbrock,
+		Sigma0:     sim.ConstSigma(10),
+		Seed:       1,
+		Parallel:   true,
+		Workers:    workers,
+		SampleCost: cost,
+	})
+	defer s.Close()
+	pts := make([]sim.Point, batch)
+	for i := range pts {
+		pts[i] = s.NewPoint([]float64{float64(i%5) - 2, 1, 2})
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		s.SampleAll(pts, 0.1)
+	}
+	elapsed := time.Since(start).Seconds()
+	means := make([]float64, batch)
+	for i, p := range pts {
+		means[i] = p.Estimate().Mean
+	}
+	return elapsed, means
+}
+
+// SchedScaling measures SampleAll wall time against the sched worker count
+// for both cost models and checks cross-worker determinism.
+func SchedScaling(opt Options) (*SchedScalingResult, error) {
+	const batch = 16 // d+3 with d=13
+	rounds := 40
+	spin := 120_000
+	lat := 400 * time.Microsecond
+	if opt.Quick {
+		rounds = 10
+		spin = 30_000
+		lat = 150 * time.Microsecond
+	}
+	res := &SchedScalingResult{Batch: batch, Rounds: rounds, NumCPU: runtime.NumCPU(), Deterministic: true}
+	var baseMeans []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		cpuSec, means := schedWorkload(workers, batch, rounds, SpinCost(spin))
+		latSec, _ := schedWorkload(workers, batch, rounds, LatencyCost(lat))
+		if baseMeans == nil {
+			baseMeans = means
+		} else {
+			for i := range means {
+				if means[i] != baseMeans[i] {
+					res.Deterministic = false
+				}
+			}
+		}
+		res.Runs = append(res.Runs, SchedRun{Workers: workers, CPUSeconds: cpuSec, LatencySeconds: latSec})
+	}
+	for i := range res.Runs {
+		res.Runs[i].CPUSpeedup = res.Runs[0].CPUSeconds / res.Runs[i].CPUSeconds
+		res.Runs[i].LatencySpeedup = res.Runs[0].LatencySeconds / res.Runs[i].LatencySeconds
+	}
+	return res, nil
+}
+
+// SchedScalingJSON renders the study as the BENCH_sched.json payload.
+func SchedScalingJSON(opt Options) ([]byte, error) {
+	res, err := SchedScaling(opt)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(res, "", "  ")
+}
+
+// BenchSched renders the scaling study as a table.
+func BenchSched(opt Options) (string, error) {
+	res, err := SchedScaling(opt)
+	if err != nil {
+		return "", err
+	}
+	header := []string{"workers", "cpu (s)", "cpu speedup", "latency (s)", "latency speedup"}
+	var rows [][]string
+	for _, r := range res.Runs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.3f", r.CPUSeconds),
+			fmt.Sprintf("%.2fx", r.CPUSpeedup),
+			fmt.Sprintf("%.3f", r.LatencySeconds),
+			fmt.Sprintf("%.2fx", r.LatencySpeedup),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched scaling: %d-point SampleAll batches x%d, host cores=%d\n",
+		res.Batch, res.Rounds, res.NumCPU)
+	b.WriteString(textplot.Table(header, rows))
+	fmt.Fprintf(&b, "bitwise-identical estimates across worker counts: %v\n", res.Deterministic)
+	return b.String(), nil
+}

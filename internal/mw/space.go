@@ -1,12 +1,14 @@
 package mw
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vtime"
 )
@@ -38,6 +40,7 @@ type Space struct {
 	driver *Driver
 	clock  vtime.Clock
 	free   chan int
+	pool   *sched.Scheduler
 
 	mu    sync.Mutex
 	evals int64
@@ -56,7 +59,13 @@ func NewSpace(cfg SpaceConfig) (*Space, error) {
 		return nil, errors.New("mw: SpaceConfig.NewSystem is required")
 	}
 	workers := cfg.Dim + 3
-	s := &Space{cfg: cfg, free: make(chan int, workers)}
+	s := &Space{
+		cfg:  cfg,
+		free: make(chan int, workers),
+		// One scheduler slot per vertex worker: a batch's submit/collect
+		// round-trips overlap exactly as the deployment's workers do.
+		pool: sched.New(sched.Config{Workers: workers}),
+	}
 	driver, err := NewDriver(Config{
 		Workers: workers,
 		NewTask: func() Task { return &VertexOp{} },
@@ -132,48 +141,68 @@ func (s *Space) NewPoint(x []float64) sim.Point {
 }
 
 // SampleAll implements sim.Space: every point samples for dt concurrently on
-// its own worker, and the wall clock advances dt once.
+// its own worker, and the wall clock advances dt once. A worker failure
+// panics, preserving the historical SampleAll contract; use SampleBatch for
+// error-returning semantics.
 func (s *Space) SampleAll(points []sim.Point, dt float64) {
+	if err := s.SampleBatch(context.Background(), points, dt); err != nil {
+		panic(fmt.Sprintf("mw: %v", err))
+	}
+}
+
+// SampleBatch implements sim.BatchSampler: each point's submit/collect
+// round-trip to its pinned vertex worker runs as one task on the space's
+// scheduler, replacing the bespoke issue-then-drain loops. On cancellation
+// or worker failure the batch is partial and the wall clock does not
+// advance.
+func (s *Space) SampleBatch(ctx context.Context, points []sim.Point, dt float64) error {
 	if len(points) == 0 {
-		return
+		return ctx.Err()
 	}
-	type issued struct {
-		p  *mwPoint
-		op *VertexOp
-		pd *Pending
-	}
-	batch := make([]issued, 0, len(points))
-	for _, p := range points {
+	mps := make([]*mwPoint, len(points))
+	for i, p := range points {
 		mp, ok := p.(*mwPoint)
 		if !ok {
 			panic("mw: SampleAll received a foreign Point")
 		}
+		mps[i] = mp
+	}
+	errs := make([]error, len(mps))
+	if err := s.pool.DoN(ctx, len(mps), func(i int) {
+		mp := mps[i]
 		op := NewSampleOp(dt)
 		pd, err := s.driver.SubmitTo(mp.rank, op)
+		if err == nil {
+			err = pd.Wait()
+		}
 		if err != nil {
-			panic(fmt.Sprintf("mw: sample submit: %v", err))
+			errs[i] = fmt.Errorf("sample on worker %d: %w", mp.rank, err)
+			return
 		}
-		batch = append(batch, issued{mp, op, pd})
+		mp.est = sim.Estimate{
+			Mean:  op.Mean,
+			Sigma: math.Sqrt(op.Variance),
+			Time:  op.Time,
+		}
+	}); err != nil {
+		return err
 	}
-	for _, is := range batch {
-		if err := is.pd.Wait(); err != nil {
-			panic(fmt.Sprintf("mw: sample on worker %d: %v", is.p.rank, err))
-		}
-		is.p.est = sim.Estimate{
-			Mean:  is.op.Mean,
-			Sigma: math.Sqrt(is.op.Variance),
-			Time:  is.op.Time,
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	s.mu.Lock()
 	s.evals += int64(len(points) * s.cfg.Ns)
 	s.mu.Unlock()
 	s.clock.Advance(dt)
+	return nil
 }
 
 // Shutdown tears down the whole deployment.
 func (s *Space) Shutdown() {
 	s.driver.Shutdown()
+	s.pool.Close()
 	if s.cfg.Counts != nil {
 		s.cfg.Counts.Masters.Add(-1)
 	}

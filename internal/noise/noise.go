@@ -19,6 +19,7 @@ package noise
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Accumulator tracks the sampling state of one point in parameter space.
@@ -116,3 +117,34 @@ func (a *Accumulator) Sigma0() float64 { return a.sigma0 }
 
 // Increments returns the number of sampling increments taken so far.
 func (a *Accumulator) Increments() int { return a.n }
+
+// Stream is an Accumulator coupled to its own deterministic RNG. It is the
+// unit of concurrency for batch sampling: because every point draws noise
+// from a private stream, the values it observes depend only on its seed and
+// its own sampling history, never on how many other points were sampled
+// concurrently or in what order. Sample is safe to call from one goroutine at
+// a time per stream (the batch scheduler's guarantee); the mutex additionally
+// tolerates a point appearing twice in one batch.
+type Stream struct {
+	*Accumulator
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewStream builds the sampling stream for a point with noise-free value f,
+// inherent noise strength sigma0, and the given RNG seed (typically derived
+// with sched.StreamSeed from the space seed and the point's creation index).
+func NewStream(f, sigma0 float64, seed int64) *Stream {
+	return &Stream{
+		Accumulator: NewAccumulator(f, sigma0),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Sample accrues dt additional seconds of sampling, drawing the noise
+// increment from the stream's private RNG.
+func (s *Stream) Sample(dt float64) {
+	s.mu.Lock()
+	s.Accumulator.Sample(dt, s.rng)
+	s.mu.Unlock()
+}

@@ -217,3 +217,29 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamMatchesAccumulator(t *testing.T) {
+	// A Stream is an Accumulator plus a private RNG: the same seed must
+	// reproduce exactly the draws of a hand-held rand.Rand.
+	st := NewStream(3.5, 2, 42)
+	rng := rand.New(rand.NewSource(42))
+	acc := NewAccumulator(3.5, 2)
+	for i := 0; i < 25; i++ {
+		st.Sample(0.5)
+		acc.Sample(0.5, rng)
+		if st.Mean() != acc.Mean() || st.Sigma() != acc.Sigma() {
+			t.Fatalf("step %d: stream (%v, %v) != accumulator (%v, %v)",
+				i, st.Mean(), st.Sigma(), acc.Mean(), acc.Sigma())
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(0, 1, 1)
+	b := NewStream(0, 1, 2)
+	a.Sample(1)
+	b.Sample(1)
+	if a.Mean() == b.Mean() {
+		t.Fatal("distinct seeds produced identical first draws")
+	}
+}

@@ -1,0 +1,231 @@
+// Package sched provides the concurrent batch-evaluation engine shared by the
+// sampling backends: a context-aware worker pool over which a batch of
+// objective-sampling requests is fanned out, executed concurrently, and
+// joined.
+//
+// The paper's central performance claim is that the d+3 concurrent vertex
+// evaluations hide the sampling cost of the stochastic objective (section
+// 3.1); parallel SPSA and parallel knowledge-gradient batch optimization make
+// the same argument for their batch sizes. sched is where that concurrency
+// actually happens in-process: sim.LocalSpace dispatches each SampleAll batch
+// through a Scheduler, and mw.Space drives its per-worker submit/collect
+// round-trips through one as well.
+//
+// Determinism is delegated to the callers via StreamSeed: every sampled point
+// owns an independent RNG stream whose seed is derived from (space seed,
+// point index), so the noise a point observes is a pure function of its
+// identity and its sampling history — never of goroutine interleaving. Serial
+// and concurrent execution of the same batch sequence therefore produce
+// bitwise-identical results.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrClosed is returned by Do when the scheduler has been closed.
+var ErrClosed = errors.New("sched: scheduler is closed")
+
+// Config configures a Scheduler.
+type Config struct {
+	// Workers is the maximum number of batch tasks executing concurrently.
+	// Zero (or negative) selects runtime.GOMAXPROCS(0). Workers == 1 degrades
+	// to serial in-caller execution with no goroutines at all, which is the
+	// reference semantics every concurrent run must reproduce bitwise.
+	Workers int
+}
+
+// Scheduler executes batches of evaluation requests on a bounded pool of
+// worker goroutines. The zero value is not usable; use New. A Scheduler is
+// safe for concurrent use by multiple goroutines, though the sampling
+// backends serialize batches themselves (one batch per simplex decision).
+type Scheduler struct {
+	workers int
+
+	queue chan func()
+	quit  chan struct{}
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a scheduler with the configured worker bound. Workers are
+// started lazily on the first batch, so an unused scheduler costs nothing.
+func New(cfg Config) *Scheduler {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		workers: w,
+		queue:   make(chan func()),
+		quit:    make(chan struct{}),
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Scheduler
+)
+
+// Shared returns the process-wide scheduler (GOMAXPROCS workers). Backends
+// that are not given their own scheduler use it, so short-lived spaces do not
+// each spin up a pool. The shared scheduler is never closed.
+func Shared() *Scheduler {
+	sharedOnce.Do(func() { shared = New(Config{}) })
+	return shared
+}
+
+// Workers returns the scheduler's concurrency bound.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// start launches the worker goroutines once.
+func (s *Scheduler) start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.workers; i++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for {
+					select {
+					case <-s.quit:
+						return
+					case fn := <-s.queue:
+						fn()
+					}
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the worker goroutines. It must not be called while a Do is in
+// flight; it is idempotent. Closing a scheduler whose workers never started
+// is a no-op.
+func (s *Scheduler) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// panicBox carries a task panic from a worker goroutine back to the Do
+// caller, preserving the synchronous-panic semantics of the serial code path
+// (e.g. sampling a closed point must still crash the caller, not a worker).
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (p *panicBox) capture(v any) {
+	p.mu.Lock()
+	if !p.set {
+		p.val, p.set = v, true
+	}
+	p.mu.Unlock()
+}
+
+// Do executes every task in the batch and returns when all dispatched tasks
+// have finished. With Workers == 1 (or a single task) the batch runs serially
+// on the calling goroutine. Cancellation is checked before every dispatch, so
+// an already-canceled context dispatches nothing; if ctx is canceled
+// mid-batch, at most the task currently being offered to a worker is still
+// dispatched, already-running tasks finish, and ctx.Err() is returned. The
+// caller cannot assume which of the remaining tasks ran. A panic inside any
+// task is re-raised on the calling goroutine after the batch drains.
+func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	if s.workers == 1 || len(tasks) == 1 {
+		for _, fn := range tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			select {
+			case <-s.quit:
+				return ErrClosed
+			default:
+			}
+			fn()
+		}
+		return nil
+	}
+
+	s.start()
+	var (
+		wg  sync.WaitGroup
+		box panicBox
+		err error
+	)
+dispatch:
+	for _, fn := range tasks {
+		// Pre-check so a canceled context deterministically stops dispatch;
+		// the select below would otherwise race ctx.Done against a parked
+		// worker's queue receive.
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break dispatch
+		}
+		fn := fn
+		wg.Add(1)
+		wrapped := func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					box.capture(r)
+				}
+			}()
+			fn()
+		}
+		select {
+		case s.queue <- wrapped:
+		case <-ctx.Done():
+			wg.Done()
+			err = ctx.Err()
+			break dispatch
+		case <-s.quit:
+			wg.Done()
+			err = ErrClosed
+			break dispatch
+		}
+	}
+	wg.Wait()
+	box.mu.Lock()
+	val, set := box.val, box.set
+	box.mu.Unlock()
+	if set {
+		panic(val)
+	}
+	return err
+}
+
+// DoN fans fn out over indices 0..n-1 as one batch. It is the common shape of
+// a sampling batch: index i samples point i.
+func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	tasks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() { fn(i) }
+	}
+	return s.Do(ctx, tasks)
+}
+
+// StreamSeed derives the RNG seed of stream number stream from a base seed
+// using the SplitMix64 finalizer (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"). Distinct (base, stream) pairs map to
+// well-separated seeds, so per-point noise streams are independent of each
+// other and of the order in which points are sampled.
+func StreamSeed(base, stream int64) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

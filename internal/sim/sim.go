@@ -8,18 +8,26 @@
 // (running mean plus the standard deviation of that mean). Backends decide how
 // sampling is executed:
 //
-//   - LocalSpace runs sampling in-process and is used by unit tests, the
-//     sequential experiments, and as the leaf evaluator inside MW clients.
+//   - LocalSpace runs sampling in-process, fanning each batch out over the
+//     sched worker pool; it is used by unit tests, the experiments, and as
+//     the leaf evaluator inside MW clients. Every point owns a private
+//     deterministic noise stream, so concurrency never changes results.
 //   - The mw package provides a Space that farms SampleAll batches out to
 //     worker processes over the master-worker framework, reproducing the
 //     paper's parallel deployment.
+//
+// Backends additionally implementing BatchSampler expose the concurrent,
+// context-aware sampling path (SampleBatch) the optimizer prefers.
 package sim
 
 import (
-	"math/rand"
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/noise"
+	"repro/internal/sched"
 	"repro/internal/vtime"
 )
 
@@ -72,6 +80,34 @@ type Space interface {
 	Evaluations() int64
 }
 
+// BatchSampler is the optional concurrent face of a Space: SampleAll with a
+// context. Backends that implement it execute the batch's per-point sampling
+// concurrently (LocalSpace through the sched worker pool, mw.Space across its
+// vertex workers) and honour cancellation between point dispatches. The
+// virtual-clock semantics are identical to SampleAll.
+type BatchSampler interface {
+	// SampleBatch samples every point for dt virtual seconds, returning
+	// ctx.Err() if the context is canceled before the batch completes. On a
+	// non-nil error the batch is partial: some points may have accrued the
+	// increment and the wall clock has not advanced.
+	SampleBatch(ctx context.Context, points []Point, dt float64) error
+}
+
+// SampleBatch samples the batch through the space's concurrent path when it
+// has one, else through plain SampleAll. It is the single entry point the
+// optimizer uses, so every backend gains cancellation support as soon as it
+// implements BatchSampler.
+func SampleBatch(ctx context.Context, space Space, points []Point, dt float64) error {
+	if bs, ok := space.(BatchSampler); ok {
+		return bs.SampleBatch(ctx, points, dt)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	space.SampleAll(points, dt)
+	return nil
+}
+
 // SigmaMode selects which noise estimate a backend reports to the optimizer.
 type SigmaMode int
 
@@ -100,8 +136,25 @@ type LocalConfig struct {
 	Mode SigmaMode
 	// Parallel, if true, advances the wall clock once per SampleAll batch
 	// (concurrent vertices); if false each point's sampling is serialized
-	// on the clock.
+	// on the clock. This is a virtual-time accounting choice, independent of
+	// Workers (the real CPU concurrency).
 	Parallel bool
+	// Workers bounds the real goroutine concurrency of batch sampling:
+	// 0 picks automatically — serial in-caller execution when sampling is
+	// cheap (no SampleCost; a noise draw is nanoseconds, cheaper than a
+	// channel handoff), the process-wide shared scheduler (GOMAXPROCS
+	// workers) when SampleCost is set. 1 forces serial execution, >= 2
+	// gives the space its own worker pool of that size (release it with
+	// Close). Because every point draws noise from a private per-point
+	// stream, results are bitwise identical for every Workers setting.
+	Workers int
+	// SampleCost, if non-nil, is invoked once per sampling increment with
+	// the point's coordinates and the increment dt, modelling the CPU cost
+	// of the underlying simulation (an MD trajectory segment in the paper's
+	// TIP4P study). The noise draw itself is nanoseconds; SampleCost is what
+	// makes concurrent batch sampling pay off on real objectives, and what
+	// the sched benchmarks exercise. It must be safe for concurrent calls.
+	SampleCost func(x []float64, dt float64)
 }
 
 // ConstSigma adapts a constant noise strength to the Sigma0 signature.
@@ -109,14 +162,20 @@ func ConstSigma(s float64) func([]float64) float64 {
 	return func([]float64) float64 { return s }
 }
 
-// LocalSpace is the in-process sampling backend.
+// LocalSpace is the in-process sampling backend. Batch sampling fans out
+// over a sched worker pool; every point owns a deterministic noise stream
+// seeded from (space seed, creation index), so serial and concurrent
+// execution produce bitwise-identical results.
 type LocalSpace struct {
 	cfg   LocalConfig
 	clock vtime.Clock
+	pool  *sched.Scheduler
+	owned bool // pool belongs to this space and is closed by Close
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	evals int64
+	evals atomic.Int64
+
+	mu         sync.Mutex
+	nextStream int64
 }
 
 // NewLocalSpace builds an in-process sampling backend.
@@ -127,8 +186,32 @@ func NewLocalSpace(cfg LocalConfig) *LocalSpace {
 	if cfg.F == nil {
 		panic("sim: LocalConfig.F must be set")
 	}
-	return &LocalSpace{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &LocalSpace{cfg: cfg}
+	switch {
+	case cfg.Workers == 0 && cfg.SampleCost == nil:
+		// Cheap sampling: pool dispatch would cost more than the noise
+		// draws it parallelizes. A Workers=1 scheduler runs in-caller and
+		// never starts goroutines, so no Close is needed.
+		s.pool = sched.New(sched.Config{Workers: 1})
+	case cfg.Workers == 0:
+		s.pool = sched.Shared()
+	default:
+		s.pool = sched.New(sched.Config{Workers: cfg.Workers})
+		s.owned = true
+	}
+	return s
 }
+
+// Close releases the space's worker pool when it owns one (Workers >= 1 in
+// the config). Spaces on the shared scheduler need no Close.
+func (s *LocalSpace) Close() {
+	if s.owned {
+		s.pool.Close()
+	}
+}
+
+// Workers returns the real concurrency bound of batch sampling.
+func (s *LocalSpace) Workers() int { return s.pool.Workers() }
 
 // Dim implements Space.
 func (s *LocalSpace) Dim() int { return s.cfg.Dim }
@@ -137,11 +220,7 @@ func (s *LocalSpace) Dim() int { return s.cfg.Dim }
 func (s *LocalSpace) Clock() *vtime.Clock { return &s.clock }
 
 // Evaluations implements Space.
-func (s *LocalSpace) Evaluations() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.evals
-}
+func (s *LocalSpace) Evaluations() int64 { return s.evals.Load() }
 
 // NewPoint implements Space.
 func (s *LocalSpace) NewPoint(x []float64) Point {
@@ -154,63 +233,95 @@ func (s *LocalSpace) NewPoint(x []float64) Point {
 	if s.cfg.Sigma0 != nil {
 		sigma0 = s.cfg.Sigma0(xc)
 	}
+	s.mu.Lock()
+	stream := s.nextStream
+	s.nextStream++
+	s.mu.Unlock()
 	return &localPoint{
-		space: s,
-		x:     xc,
-		acc:   noise.NewAccumulator(s.cfg.F(xc), sigma0),
+		space:  s,
+		x:      xc,
+		stream: noise.NewStream(s.cfg.F(xc), sigma0, sched.StreamSeed(s.cfg.Seed, stream)),
 	}
 }
 
 // SampleAll implements Space. All points accrue dt of sampling; the wall
 // clock advances dt once in parallel mode, len(points)*dt in serial mode.
+// A failed batch (sampling on a closed space) panics, matching mw.Space.
 func (s *LocalSpace) SampleAll(points []Point, dt float64) {
-	if len(points) == 0 {
-		return
+	// context.Background never cancels, so the only non-panic error left is
+	// sched.ErrClosed — a use-after-Close, which must not pass silently.
+	if err := s.SampleBatch(context.Background(), points, dt); err != nil {
+		panic(fmt.Sprintf("sim: SampleAll: %v", err))
 	}
-	for _, p := range points {
+}
+
+// SampleBatch implements BatchSampler: the per-point sampling runs
+// concurrently on the space's worker pool. On cancellation the wall clock
+// does not advance and the batch is partial.
+func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64) error {
+	if len(points) == 0 {
+		return ctx.Err()
+	}
+	lps := make([]*localPoint, len(points))
+	for i, p := range points {
 		lp, ok := p.(*localPoint)
 		if !ok {
 			panic("sim: SampleAll received a foreign Point")
 		}
-		lp.sampleNoClock(dt)
+		if lp.closed {
+			panic("sim: Sample on closed point")
+		}
+		lps[i] = lp
+	}
+	if err := s.pool.DoN(ctx, len(lps), func(i int) { lps[i].sample(dt) }); err != nil {
+		return err
 	}
 	if s.cfg.Parallel {
 		s.clock.Advance(dt)
 	} else {
 		s.clock.Advance(float64(len(points)) * dt)
 	}
+	return nil
 }
 
 type localPoint struct {
 	space  *LocalSpace
 	x      []float64
-	acc    *noise.Accumulator
+	stream *noise.Stream
 	closed bool
 }
 
 func (p *localPoint) X() []float64 { return p.x }
 
 func (p *localPoint) Estimate() Estimate {
-	sigma := p.acc.Sigma()
+	sigma := p.stream.Sigma()
 	if p.space.cfg.Mode == SigmaEstimated {
-		sigma = p.acc.SigmaEst()
+		sigma = p.stream.SigmaEst()
 	}
-	return Estimate{Mean: p.acc.Mean(), Sigma: sigma, Time: p.acc.Time()}
+	return Estimate{Mean: p.stream.Mean(), Sigma: sigma, Time: p.stream.Time()}
 }
 
 func (p *localPoint) Sample(dt float64) {
-	p.sampleNoClock(dt)
-	p.space.clock.Advance(dt)
-}
-
-func (p *localPoint) sampleNoClock(dt float64) {
 	if p.closed {
 		panic("sim: Sample on closed point")
 	}
-	p.space.mu.Lock()
-	p.acc.Sample(dt, p.space.rng)
-	p.space.evals++
-	p.space.mu.Unlock()
+	p.sample(dt)
+	p.space.clock.Advance(dt)
+}
+
+// sample performs one increment: the (optional) simulated CPU cost, the
+// noise draw from the point's private stream, and the evaluation count. It
+// is the unit of work dispatched to the sched pool and touches no state
+// shared across points except the atomic counter.
+func (p *localPoint) sample(dt float64) {
+	if p.closed {
+		panic("sim: Sample on closed point")
+	}
+	if p.space.cfg.SampleCost != nil {
+		p.space.cfg.SampleCost(p.x, dt)
+	}
+	p.stream.Sample(dt)
+	p.space.evals.Add(1)
 }
 
 func (p *localPoint) Close() { p.closed = true }
@@ -220,7 +331,7 @@ func (p *localPoint) Close() { p.closed = true }
 // performance measure; optimizers must not.
 func Underlying(p Point) (float64, bool) {
 	if lp, ok := p.(*localPoint); ok {
-		return lp.acc.Underlying(), true
+		return lp.stream.Underlying(), true
 	}
 	return 0, false
 }

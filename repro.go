@@ -24,9 +24,17 @@
 // and simulation clients over the MW framework), build a space with
 // NewMWSpace; both backends satisfy the same Space interface, so the
 // optimizer code is identical.
+//
+// Both backends sample batches concurrently through the internal/sched
+// worker pool (LocalConfig.Workers bounds the in-process concurrency), and
+// every point draws noise from a private deterministic stream, so results
+// are bitwise identical for any worker count. OptimizeContext adds
+// cancellation: a canceled context stops the run within one sampling round.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/mw"
 	"repro/internal/sim"
@@ -68,8 +76,15 @@ type (
 	Point = sim.Point
 	// Estimate is a point's current running mean, sigma and sampling time.
 	Estimate = sim.Estimate
-	// LocalConfig configures the in-process backend.
+	// BatchSampler is the concurrent, context-aware face of a Space; both
+	// built-in backends implement it.
+	BatchSampler = sim.BatchSampler
+	// LocalConfig configures the in-process backend (see Workers and
+	// SampleCost for the concurrent-sampling knobs).
 	LocalConfig = sim.LocalConfig
+	// LocalSpace is the in-process backend's concrete type; it exposes
+	// Close for spaces that own a private worker pool.
+	LocalSpace = sim.LocalSpace
 	// MWSpaceConfig configures the parallel master-worker backend.
 	MWSpaceConfig = mw.SpaceConfig
 	// SystemEvaluator is one simulation system under a vertex server.
@@ -95,6 +110,21 @@ func Optimize(space Space, initial [][]float64, cfg Config) (*Result, error) {
 	return core.Optimize(space, initial, cfg)
 }
 
+// OptimizeContext is Optimize with cancellation: sampling batches dispatch
+// concurrently under ctx, and a canceled context terminates the run within
+// one sampling round with Result.Termination == "canceled".
+func OptimizeContext(ctx context.Context, space Space, initial [][]float64, cfg Config) (*Result, error) {
+	return core.OptimizeContext(ctx, space, initial, cfg)
+}
+
+// SampleBatch samples the points concurrently through the space's
+// BatchSampler when it has one, else serially via SampleAll. Harnesses that
+// drive spaces directly (outside Optimize) use it to get the same concurrent
+// path the optimizer uses.
+func SampleBatch(ctx context.Context, space Space, points []Point, dt float64) error {
+	return sim.SampleBatch(ctx, space, points, dt)
+}
+
 // RestartConfig wraps a Config with the restart strategy of the paper's
 // section 1.3.5.1 (rebuild a fresh simplex around the incumbent after each
 // convergence), the antidote to premature simplex collapse in long noisy
@@ -108,8 +138,17 @@ func OptimizeWithRestarts(space Space, initial [][]float64, rcfg RestartConfig) 
 	return core.OptimizeWithRestarts(space, initial, rcfg)
 }
 
-// NewLocalSpace builds the in-process sampling backend.
-func NewLocalSpace(cfg LocalConfig) Space { return sim.NewLocalSpace(cfg) }
+// OptimizeWithRestartsContext is OptimizeWithRestarts with cancellation: a
+// canceled context ends the current leg and skips the remaining restarts.
+func OptimizeWithRestartsContext(ctx context.Context, space Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
+	return core.OptimizeWithRestartsContext(ctx, space, initial, rcfg)
+}
+
+// NewLocalSpace builds the in-process sampling backend. The concrete type
+// exposes Close, which must be called for spaces configured with a private
+// worker pool (LocalConfig.Workers >= 1); spaces on the shared pool
+// (Workers == 0) need no Close.
+func NewLocalSpace(cfg LocalConfig) *LocalSpace { return sim.NewLocalSpace(cfg) }
 
 // ConstSigma adapts a constant eq-1.2 noise strength to LocalConfig.Sigma0.
 func ConstSigma(s float64) func([]float64) float64 { return sim.ConstSigma(s) }
