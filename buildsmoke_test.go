@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMainPackagesBuild compiles every example and command main package, so
+// example rot (an API change that breaks a program no other test imports) is
+// caught by the tier-1 suite rather than by the first user who runs it.
+// `go build` with multiple main packages type-checks and compiles without
+// writing binaries.
+func TestMainPackagesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enumerate so the failure message names the broken package, and so an
+	// empty glob (a renamed directory) is itself an error.
+	var pkgs []string
+	for _, dir := range []string{"examples", "cmd"} {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs = append(pkgs, "./"+dir+"/"+e.Name())
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no main packages found under %s/", dir)
+		}
+	}
+
+	cmd := exec.Command(goBin, append([]string{"build"}, pkgs...)...)
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s failed: %v\n%s", strings.Join(pkgs, " "), err, out)
+	}
+}
+
+// moduleRoot locates the directory containing go.mod, starting from the
+// test's working directory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

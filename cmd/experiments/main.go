@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/experiments"
@@ -22,12 +24,25 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced protocol for smoke runs")
 		seed      = flag.Int64("seed", 1, "base random seed")
 		list      = flag.Bool("list", false, "list available experiments")
-		benchJSON = flag.String("benchjson", "", "write the BenchSched scaling study as JSON to this path (BENCH_sched.json)")
+		benchJSON = flag.String("benchjson", "", "write a benchmark study as JSON to this path; the basename selects the study (BENCH_sched.json, BENCH_jobs.json)")
 	)
 	flag.Parse()
+	fmt.Printf("experiments: seed=%d quick=%v\n", *seed, *quick)
 
 	if *benchJSON != "" {
-		payload, err := experiments.SchedScalingJSON(experiments.Options{Quick: *quick, Seed: *seed})
+		writers := experiments.BenchJSONWriters()
+		gen, ok := writers[filepath.Base(*benchJSON)]
+		if !ok {
+			names := make([]string, 0, len(writers))
+			for n := range writers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "unknown benchmark artifact %q; the basename must be one of %v\n",
+				filepath.Base(*benchJSON), names)
+			os.Exit(1)
+		}
+		payload, err := gen(experiments.Options{Quick: *quick, Seed: *seed})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

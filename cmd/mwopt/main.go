@@ -23,15 +23,18 @@ func main() {
 		iters   = flag.Int("iters", 50, "maximum simplex iterations")
 		tol     = flag.Float64("tol", 1e-6, "spread termination tolerance")
 		samples = flag.Float64("resample", 1, "sampling batches per wait round")
+		seed    = flag.Int64("seed", 1, "random seed, exported to user scripts as OPT_SEED")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mwopt [flags] <OPTROOT>")
 		os.Exit(2)
 	}
+	fmt.Printf("mwopt: seed=%d\n", *seed)
 
 	root, err := optroot.Load(flag.Arg(0))
 	fatal(err)
+	root.Seed = *seed
 	fmt.Printf("OPTROOT %s\n", root.Dir)
 	fmt.Printf("parameters: %v (d=%d)\n", root.ParamNames, root.Dim())
 	fmt.Printf("systems: %d, properties: %d\n", len(root.Systems), len(root.Properties))

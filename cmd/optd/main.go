@@ -1,0 +1,87 @@
+// Command optd is the optimization job server: an HTTP/JSON front end over
+// the internal/jobs manager. It multiplexes many concurrent optimization
+// runs over one shared sampling worker fleet, streams per-iteration progress,
+// and (with -checkpoint-dir) persists checkpoints so a killed server resumes
+// its jobs bitwise-deterministically on restart.
+//
+// Example session:
+//
+//	optd -addr :8080 -checkpoint-dir /var/lib/optd &
+//	curl -s localhost:8080/v1/jobs -d '{"objective":"rosenbrock","dim":3,"algorithm":"pc","sigma0":100,"seed":7,"max_iterations":200}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/trace   # NDJSON progress stream
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address")
+		maxConc    = flag.Int("max-concurrent", 4, "jobs running simultaneously")
+		workers    = flag.Int("workers", 0, "shared sampling fleet size (0 = GOMAXPROCS)")
+		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
+		ckptEvery  = flag.Int("checkpoint-every", 20, "iterations between checkpoints")
+		seed       = flag.Int64("seed", 1, "default random seed for specs that omit one")
+		noRecover  = flag.Bool("no-recover", false, "skip resuming checkpointed jobs at startup")
+		traceBufSz = flag.Int("trace-buffer", 256, "per-subscriber progress event buffer")
+	)
+	flag.Parse()
+	fmt.Printf("optd starting: addr=%s seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
+		*addr, *seed, *maxConc, *workers, *ckptDir)
+
+	mgr, err := jobs.New(jobs.Config{
+		MaxConcurrent:   *maxConc,
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		TraceBuffer:     *traceBufSz,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer mgr.Close()
+
+	if *ckptDir != "" && !*noRecover {
+		ids, err := mgr.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: recover: %v\n", err)
+		}
+		if len(ids) > 0 {
+			fmt.Printf("recovered %d checkpointed job(s): %v\n", len(ids), ids)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(mgr, *seed)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("received %s; shutting down (running jobs checkpoint and resume on restart)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobs"
+)
+
+// server adapts a jobs.Manager to HTTP/JSON. Endpoints:
+//
+//	GET    /healthz              liveness probe
+//	POST   /v1/jobs              submit a job (body: jobs.Spec) -> {"id": ...}
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/result  final result (409 until terminal)
+//	GET    /v1/jobs/{id}/trace   NDJSON stream of progress events
+//	POST   /v1/jobs/{id}/cancel  request cancellation
+//	DELETE /v1/jobs/{id}         request cancellation (alias)
+type server struct {
+	mgr *jobs.Manager
+	// defaultSeed is applied to submitted specs that leave Seed zero, so
+	// every job is reproducible from the server log plus its spec.
+	defaultSeed int64
+}
+
+// newServer builds the HTTP handler.
+func newServer(mgr *jobs.Manager, defaultSeed int64) http.Handler {
+	s := &server{mgr: mgr, defaultSeed: defaultSeed}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	return mux
+}
+
+// writeJSON sends one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps manager errors to HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, jobs.ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	if spec.Seed == 0 {
+		spec.Seed = s.defaultSeed
+	}
+	id, err := s.mgr.Submit(spec)
+	if err != nil {
+		if errors.Is(err, jobs.ErrClosed) {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.mgr.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %s is %s", id, st.State),
+		})
+		return
+	}
+	res, err := s.mgr.Result(id)
+	if err != nil {
+		if errors.Is(err, jobs.ErrNotFound) {
+			// Evicted by retention churn between the two lookups.
+			writeErr(w, err)
+			return
+		}
+		// Terminal without a result (failed, or canceled before starting):
+		// surface the run error with the status.
+		writeJSON(w, http.StatusOK, map[string]any{"state": st.State, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"state": st.State, "result": res})
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Cancel(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "canceling"})
+}
+
+// trace streams the job's progress as NDJSON: one jobs.Event per line,
+// flushed per event, ending when the job reaches a terminal state or the
+// client disconnects.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.mgr.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
+	fmt.Printf("stochsimplex: seed=%d\n", *seed)
 	f, err := testfunc.ByName(*funcName)
 	fatal(err)
 	if f.Dim != 0 && f.Dim != *dim {
@@ -59,14 +60,7 @@ func main() {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	initial := make([][]float64, *dim+1)
-	for i := range initial {
-		initial[i] = make([]float64, *dim)
-		for j := range initial[i] {
-			initial[i][j] = *lo + (*hi-*lo)*rng.Float64()
-		}
-	}
+	initial := repro.UniformSimplex(*dim, *lo, *hi, rand.New(rand.NewSource(*seed)))
 
 	res, err := repro.Optimize(space, initial, cfg)
 	fatal(err)

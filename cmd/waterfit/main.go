@@ -32,6 +32,7 @@ func main() {
 		qh         = flag.Float64("qh", 0.52, "qH for -md-only (e)")
 	)
 	flag.Parse()
+	fmt.Printf("waterfit: seed=%d\n", *seed)
 
 	if *mdOnly {
 		theta := water.Params{Epsilon: *eps, Sigma: *sigmaP, QH: *qh}

@@ -103,3 +103,38 @@ func Example_concurrentSampling() {
 	// terminated: walltime
 	// bitwise identical to serial run: true
 }
+
+// ExampleNewJobManager runs two optimizations as jobs over one shared
+// sampling fleet — the in-process form of the cmd/optd job server. Jobs are
+// described by serializable specs (named objective, algorithm, seed), carry
+// lifecycle states, and can be canceled or, with a checkpoint directory,
+// killed and resumed bitwise-deterministically.
+func ExampleNewJobManager() {
+	m, err := repro.NewJobManager(repro.JobManagerConfig{MaxConcurrent: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer m.Close()
+
+	id, err := m.Submit(repro.JobSpec{
+		Objective:     "rosenbrock",
+		Dim:           3,
+		Algorithm:     "pc",
+		Sigma0:        10,
+		Seed:          1,
+		Tol:           -1, // run to the iteration cap
+		Budget:        1e12,
+		MaxIterations: 80,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Wait(id)
+	if err != nil {
+		panic(err)
+	}
+	st, _ := m.Get(id)
+	fmt.Printf("%s: %s after %d iterations\n", id, st.State, res.Iterations)
+	// Output:
+	// j000001: done after 80 iterations
+}

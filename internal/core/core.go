@@ -253,6 +253,20 @@ type Config struct {
 
 	// Trace, if non-nil, receives one event per simplex iteration.
 	Trace func(TraceEvent)
+
+	// Checkpoint, if non-nil, receives a Snapshot of the full optimizer
+	// state every CheckpointEvery iterations (every iteration when
+	// CheckpointEvery <= 0). The space must implement sim.Snapshotter
+	// (LocalSpace does). Taking a snapshot reads no randomness and mutates
+	// nothing, so a run with checkpointing enabled is bitwise identical to
+	// one without; a run resumed from any snapshot (ResumeContext) is
+	// bitwise identical to the uninterrupted run — the paper's §1.3.5.1
+	// restart-on-failure strategy made durable. The callback must finish
+	// with the snapshot (e.g. serialize it) before returning; the optimizer
+	// continues immediately after.
+	Checkpoint func(*Snapshot)
+	// CheckpointEvery is the iteration period of Checkpoint callbacks.
+	CheckpointEvery int
 }
 
 // DefaultConfig returns the parameter defaults used throughout the paper's

@@ -41,6 +41,11 @@ func OptimizeContext(ctx context.Context, space sim.Space, initial [][]float64, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Checkpoint != nil {
+		if _, ok := space.(sim.Snapshotter); !ok {
+			return nil, fmt.Errorf("core: Config.Checkpoint set but space %T does not implement sim.Snapshotter", space)
+		}
+	}
 	o := &optimizer{space: space, cfg: cfg, d: d, clock: space.Clock(), ctx: ctx}
 	o.start = o.clock.Now()
 	o.verts = make([]sim.Point, d+1)
@@ -109,6 +114,10 @@ func (o *optimizer) run() (*Result, error) {
 		o.res.Iterations++
 		o.stepOverhead()
 		o.emitTrace()
+		if err := o.emitCheckpoint(); err != nil {
+			o.finish()
+			return nil, err
+		}
 	}
 	o.finish()
 	return &o.res, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/sim"
 )
@@ -26,6 +27,34 @@ type RestartConfig struct {
 	ScaleDecay float64
 }
 
+// validate checks the restart-level parameters (the embedded Config is
+// validated per leg by OptimizeContext).
+func (rcfg *RestartConfig) validate(d int) error {
+	if rcfg.Restarts < 0 {
+		return errors.New("core: RestartConfig.Restarts must be >= 0")
+	}
+	if len(rcfg.Scale) != d {
+		return fmt.Errorf("core: RestartConfig.Scale has %d entries, want %d", len(rcfg.Scale), d)
+	}
+	for i, s := range rcfg.Scale {
+		if s <= 0 {
+			return fmt.Errorf("core: RestartConfig.Scale[%d] = %v must be positive", i, s)
+		}
+	}
+	if d := rcfg.ScaleDecay; d != 0 && (d < 0 || d > 1) {
+		return errors.New("core: RestartConfig.ScaleDecay must be in (0, 1]")
+	}
+	return nil
+}
+
+// decay returns the effective scale decay factor.
+func (rcfg *RestartConfig) decay() float64 {
+	if rcfg.ScaleDecay == 0 {
+		return 0.5
+	}
+	return rcfg.ScaleDecay
+}
+
 // OptimizeWithRestarts runs Optimize, then restarts it from a fresh simplex
 // around the best vertex the configured number of times, returning the best
 // result overall. The walltime budget of the inner Config applies per leg;
@@ -37,62 +66,156 @@ func OptimizeWithRestarts(space sim.Space, initial [][]float64, rcfg RestartConf
 
 // OptimizeWithRestartsContext is OptimizeWithRestarts with cancellation: a
 // canceled context ends the current leg (Termination "canceled") and skips
-// the remaining restarts.
+// the remaining restarts. When Config.Checkpoint is set, every snapshot
+// additionally carries the restart-leg state (Snapshot.Restart), so a killed
+// multi-leg run resumes mid-leg with ResumeWithRestartsContext.
 func OptimizeWithRestartsContext(ctx context.Context, space sim.Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
-	if rcfg.Restarts < 0 {
-		return nil, errors.New("core: RestartConfig.Restarts must be >= 0")
+	if err := rcfg.validate(space.Dim()); err != nil {
+		return nil, err
 	}
-	d := space.Dim()
-	if len(rcfg.Scale) != d {
-		return nil, fmt.Errorf("core: RestartConfig.Scale has %d entries, want %d", len(rcfg.Scale), d)
+	scale := append([]float64(nil), rcfg.Scale...)
+	legCfg := rcfg.Config
+	if legCfg.Checkpoint != nil {
+		legCfg.Checkpoint = restartCheckpoint(rcfg.Config.Checkpoint, 0, scale, nil, nil)
 	}
-	for i, s := range rcfg.Scale {
-		if s <= 0 {
-			return nil, fmt.Errorf("core: RestartConfig.Scale[%d] = %v must be positive", i, s)
-		}
-	}
-	decay := rcfg.ScaleDecay
-	if decay == 0 {
-		decay = 0.5
-	}
-	if decay <= 0 || decay > 1 {
-		return nil, errors.New("core: RestartConfig.ScaleDecay must be in (0, 1]")
-	}
-
-	best, err := OptimizeContext(ctx, space, initial, rcfg.Config)
+	best, err := OptimizeContext(ctx, space, initial, legCfg)
 	if err != nil {
 		return nil, err
 	}
 	total := *best
+	return runRestartLegs(ctx, space, rcfg, best, &total, 1, scale)
+}
 
-	scale := append([]float64(nil), rcfg.Scale...)
-	for r := 0; r < rcfg.Restarts && best.Termination != "canceled"; r++ {
+// ResumeWithRestartsContext continues an OptimizeWithRestarts run from a
+// snapshot: the in-flight leg resumes via ResumeContext, then the remaining
+// restart legs run as usual. Snapshots without restart state (snap.Restart
+// == nil) are treated as leg 0. The resumed run is bitwise identical to the
+// uninterrupted one under the same determinism contract as ResumeContext.
+func ResumeWithRestartsContext(ctx context.Context, space sim.Space, snap *Snapshot, rcfg RestartConfig) (*Result, error) {
+	if err := rcfg.validate(space.Dim()); err != nil {
+		return nil, err
+	}
+	leg, scale := 0, append([]float64(nil), rcfg.Scale...)
+	var prevBest, prevTotal *Result
+	if snap != nil && snap.Restart != nil {
+		leg = snap.Restart.Leg
+		if leg < 0 || leg > rcfg.Restarts {
+			return nil, fmt.Errorf("core: snapshot restart leg %d out of range 0..%d", leg, rcfg.Restarts)
+		}
+		if len(snap.Restart.Scale) != len(scale) {
+			return nil, fmt.Errorf("core: snapshot restart scale has %d entries, want %d",
+				len(snap.Restart.Scale), len(scale))
+		}
+		scale = append([]float64(nil), snap.Restart.Scale...)
+		prevBest, prevTotal = snap.Restart.Best, snap.Restart.Total
+	}
+	if leg > 0 && (prevBest == nil || prevTotal == nil) {
+		return nil, fmt.Errorf("core: snapshot of restart leg %d is missing the accumulated results", leg)
+	}
+
+	legCfg := rcfg.Config
+	if legCfg.Checkpoint != nil {
+		legCfg.Checkpoint = restartCheckpoint(rcfg.Config.Checkpoint, leg, scale, prevBest, prevTotal)
+	}
+	legRes, err := ResumeContext(ctx, space, snap, legCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if leg == 0 {
+		total := *legRes
+		return runRestartLegs(ctx, space, rcfg, legRes, &total, 1, scale)
+	}
+	best := prevBest
+	total := *prevTotal
+	best = mergeLeg(&total, best, legRes)
+	if legRes.Termination == "canceled" {
+		total.Termination = "canceled"
+		return &total, nil
+	}
+	for i := range scale {
+		scale[i] *= rcfg.decay()
+	}
+	return runRestartLegs(ctx, space, rcfg, best, &total, leg+1, scale)
+}
+
+// runRestartLegs drives restart legs nextLeg..Restarts, accumulating effort
+// into total and tracking the best leg. scale is mutated in place (decayed
+// after each completed leg).
+func runRestartLegs(ctx context.Context, space sim.Space, rcfg RestartConfig, best *Result, total *Result, nextLeg int, scale []float64) (*Result, error) {
+	for r := nextLeg; r <= rcfg.Restarts && best.Termination != "canceled"; r++ {
 		fresh := simplexAround(best.BestX, scale)
-		leg, err := OptimizeContext(ctx, space, fresh, rcfg.Config)
+		legCfg := rcfg.Config
+		if legCfg.Checkpoint != nil {
+			legCfg.Checkpoint = restartCheckpoint(rcfg.Config.Checkpoint, r, scale, best, total)
+		}
+		leg, err := OptimizeContext(ctx, space, fresh, legCfg)
 		if err != nil {
 			return nil, err
 		}
-		accumulate(&total, leg)
-		if leg.BestG < best.BestG {
-			best = leg
-			total.BestX = leg.BestX
-			total.BestG = leg.BestG
-			total.BestSigma = leg.BestSigma
-			total.FinalSimplex = leg.FinalSimplex
-			total.FinalValues = leg.FinalValues
-			total.FinalSpread = leg.FinalSpread
-			total.Termination = leg.Termination
-			total.ContractionLevel = leg.ContractionLevel
-		}
+		best = mergeLeg(total, best, leg)
 		if leg.Termination == "canceled" {
 			total.Termination = "canceled"
 			break
 		}
 		for i := range scale {
-			scale[i] *= decay
+			scale[i] *= rcfg.decay()
 		}
 	}
-	return &total, nil
+	return total, nil
+}
+
+// mergeLeg folds a completed leg into the running totals and returns the new
+// best result.
+func mergeLeg(total, best, leg *Result) *Result {
+	accumulate(total, leg)
+	if leg.BestG < best.BestG {
+		best = leg
+		total.BestX = leg.BestX
+		total.BestG = leg.BestG
+		total.BestSigma = leg.BestSigma
+		total.FinalSimplex = leg.FinalSimplex
+		total.FinalValues = leg.FinalValues
+		total.FinalSpread = leg.FinalSpread
+		total.Termination = leg.Termination
+		total.ContractionLevel = leg.ContractionLevel
+	}
+	return best
+}
+
+// restartCheckpoint wraps a Checkpoint callback so every snapshot of the
+// current leg carries the restart-leg state. best/total are copied at leg
+// start — exactly the accumulated state a resume must rebuild.
+func restartCheckpoint(cb func(*Snapshot), leg int, scale []float64, best, total *Result) func(*Snapshot) {
+	scaleCopy := append([]float64(nil), scale...)
+	var bestCopy, totalCopy *Result
+	if best != nil {
+		b := *best
+		bestCopy = &b
+	}
+	if total != nil {
+		t := *total
+		totalCopy = &t
+	}
+	return func(s *Snapshot) {
+		s.Restart = &RestartState{Leg: leg, Scale: scaleCopy, Best: bestCopy, Total: totalCopy}
+		cb(s)
+	}
+}
+
+// UniformSimplex draws d+1 vertices with coordinates uniform over [lo, hi)
+// from rng. It is the one initial-simplex draw shared by cmd/stochsimplex,
+// job specs and the experiment drivers, so a seed reproduces the same
+// starting simplex no matter which entry point drives the run.
+func UniformSimplex(d int, lo, hi float64, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, d+1)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = lo + (hi-lo)*rng.Float64()
+		}
+	}
+	return out
 }
 
 // simplexAround builds a right-angle simplex: the anchor point plus one

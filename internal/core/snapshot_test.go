@@ -1,0 +1,232 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+)
+
+func snapSpace(seed int64) *sim.LocalSpace {
+	return sim.NewLocalSpace(sim.LocalConfig{
+		Dim:      3,
+		F:        testfunc.Rosenbrock,
+		Sigma0:   sim.ConstSigma(50),
+		Seed:     seed,
+		Parallel: true,
+	})
+}
+
+func snapInitial() [][]float64 {
+	return [][]float64{{-2, 1, 3}, {2, -1, 0}, {0, 3, -2}, {1, 1, 1}}
+}
+
+// collectSnapshots runs an optimization with checkpointing, keeping the JSON
+// serialization of every snapshot (exercising the same round-trip the durable
+// checkpoint store performs).
+func collectSnapshots(t *testing.T, cfg Config, every int) (*Result, [][]byte) {
+	t.Helper()
+	var blobs [][]byte
+	cfg.CheckpointEvery = every
+	cfg.Checkpoint = func(s *Snapshot) {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal snapshot: %v", err)
+		}
+		blobs = append(blobs, b)
+	}
+	space := snapSpace(11)
+	res, err := Optimize(space, snapInitial(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, blobs
+}
+
+// TestSnapshotResumeBitwise is the acceptance-criterion test: a run
+// snapshotted mid-flight and resumed on a fresh space produces a Result
+// bitwise identical to the uninterrupted run — for every decision policy and
+// from every snapshot taken along the way.
+func TestSnapshotResumeBitwise(t *testing.T) {
+	for _, alg := range []Algorithm{DET, MN, PC, PCMN, AndersonNM} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := DefaultConfig(alg)
+			cfg.MaxIterations = 40
+			cfg.MaxWalltime = 1e7
+			cfg.Tol = 1e-9
+
+			uninterrupted, blobs := collectSnapshots(t, cfg, 10)
+			if len(blobs) == 0 {
+				t.Fatal("no snapshots were taken")
+			}
+
+			for i, blob := range blobs {
+				var snap Snapshot
+				if err := json.Unmarshal(blob, &snap); err != nil {
+					t.Fatalf("unmarshal snapshot %d: %v", i, err)
+				}
+				// Fresh process-like state: a brand-new space from the same
+				// construction parameters, and the original Config without
+				// the checkpoint callback.
+				resumeCfg := cfg
+				resumeCfg.Checkpoint = nil
+				resumeCfg.CheckpointEvery = 0
+				resumed, err := Resume(snapSpace(11), &snap, resumeCfg)
+				if err != nil {
+					t.Fatalf("resume from snapshot %d (iter %d): %v", i, snap.Iterations, err)
+				}
+				if !reflect.DeepEqual(resumed, uninterrupted) {
+					t.Fatalf("resume from iter %d diverged:\nresumed      %+v\nuninterrupted %+v",
+						snap.Iterations, resumed, uninterrupted)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointingDoesNotPerturb checks that enabling checkpoints changes
+// nothing: snapshot export reads no randomness.
+func TestCheckpointingDoesNotPerturb(t *testing.T) {
+	cfg := DefaultConfig(PC)
+	cfg.MaxIterations = 30
+	cfg.MaxWalltime = 1e7
+	cfg.Tol = 1e-9
+
+	withCkpt, _ := collectSnapshots(t, cfg, 5)
+	plain, err := Optimize(snapSpace(11), snapInitial(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withCkpt, plain) {
+		t.Fatalf("checkpointing perturbed the run:\nwith    %+v\nwithout %+v", withCkpt, plain)
+	}
+}
+
+// TestSnapshotJSONRoundTrip checks the serialized form is lossless.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(MN)
+	cfg.MaxIterations = 12
+	cfg.MaxWalltime = 1e7
+	var snaps []*Snapshot
+	cfg.CheckpointEvery = 4
+	cfg.Checkpoint = func(s *Snapshot) {
+		// Deep-copy via JSON, as the durable store would.
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c Snapshot
+		if err := json.Unmarshal(b, &c); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&c, s) {
+			t.Fatalf("JSON round-trip lost state:\nin  %+v\nout %+v", s, &c)
+		}
+		snaps = append(snaps, &c)
+	}
+	if _, err := Optimize(snapSpace(5), snapInitial(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots were taken")
+	}
+}
+
+// TestRestartResumeBitwise covers the multi-leg path: snapshots taken inside
+// restart legs carry the leg state, and ResumeWithRestartsContext reproduces
+// the uninterrupted OptimizeWithRestarts result bitwise.
+func TestRestartResumeBitwise(t *testing.T) {
+	rcfg := RestartConfig{
+		Config:   DefaultConfig(MN),
+		Restarts: 2,
+		Scale:    []float64{0.5, 0.5, 0.5},
+	}
+	rcfg.MaxIterations = 15
+	rcfg.MaxWalltime = 1e7
+	rcfg.Tol = 1e-9
+
+	var blobs [][]byte
+	ckptCfg := rcfg
+	ckptCfg.CheckpointEvery = 7
+	ckptCfg.Checkpoint = func(s *Snapshot) {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	uninterrupted, err := OptimizeWithRestarts(snapSpace(23), snapInitial(), ckptCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) == 0 {
+		t.Fatal("no snapshots were taken")
+	}
+
+	sawLater := false
+	for i, blob := range blobs {
+		var snap Snapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Restart == nil {
+			t.Fatalf("snapshot %d from a restart run is missing the leg state", i)
+		}
+		if snap.Restart.Leg > 0 {
+			sawLater = true
+		}
+		resumed, err := ResumeWithRestartsContext(nil, snapSpace(23), &snap, rcfg)
+		if err != nil {
+			t.Fatalf("resume from snapshot %d (leg %d, iter %d): %v",
+				i, snap.Restart.Leg, snap.Iterations, err)
+		}
+		if !reflect.DeepEqual(resumed, uninterrupted) {
+			t.Fatalf("restart resume from leg %d iter %d diverged:\nresumed       %+v\nuninterrupted %+v",
+				snap.Restart.Leg, snap.Iterations, resumed, uninterrupted)
+		}
+	}
+	if !sawLater {
+		t.Fatal("no snapshot was taken inside a restart leg; widen the test")
+	}
+}
+
+// TestResumeRejectsBadSnapshots covers the resume-time validation.
+func TestResumeRejectsBadSnapshots(t *testing.T) {
+	cfg := DefaultConfig(DET)
+	if _, err := Resume(snapSpace(1), nil, cfg); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := Resume(snapSpace(1), &Snapshot{Version: 99, Dim: 3}, cfg); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := Resume(snapSpace(1), &Snapshot{Version: SnapshotVersion, Dim: 2}, cfg); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	if _, err := Resume(snapSpace(1), &Snapshot{Version: SnapshotVersion, Dim: 3}, cfg); err == nil {
+		t.Fatal("wrong vertex count accepted")
+	}
+
+	// A restart snapshot with a corrupted scale must be rejected, not
+	// silently resumed with the wrong simplex edge lengths.
+	rcfg := RestartConfig{Config: cfg, Restarts: 1, Scale: []float64{1, 1, 1}}
+	var snap *Snapshot
+	ckpt := rcfg
+	ckpt.CheckpointEvery = 1
+	ckpt.Checkpoint = func(s *Snapshot) {
+		if snap == nil {
+			c := *s
+			snap = &c
+		}
+	}
+	ckpt.MaxIterations = 3
+	ckpt.MaxWalltime = 1e7
+	if _, err := OptimizeWithRestarts(snapSpace(1), snapInitial(), ckpt); err != nil {
+		t.Fatal(err)
+	}
+	snap.Restart.Scale = snap.Restart.Scale[:2]
+	if _, err := ResumeWithRestartsContext(nil, snapSpace(1), snap, rcfg); err == nil {
+		t.Fatal("corrupted restart scale accepted")
+	}
+}

@@ -90,6 +90,16 @@ func Registry() []Driver {
 		{"Fig3.19", "Optimized gOO(r) vs TIP4P and experiment", Fig319},
 		{"Fig3.20", "gOO(r) at successive optimization stages", Fig320},
 		{"BenchSched", "sched worker-pool scaling of SampleAll on an expensive objective", BenchSched},
+		{"BenchJobs", "jobs-service throughput and latency vs run-pool width", BenchJobs},
+	}
+}
+
+// BenchJSONWriters maps benchmark artifact basenames to their JSON payload
+// generators (the cmd/experiments -benchjson flag selects by basename).
+func BenchJSONWriters() map[string]func(Options) ([]byte, error) {
+	return map[string]func(Options) ([]byte, error){
+		"BENCH_sched.json": SchedScalingJSON,
+		"BENCH_jobs.json":  JobsBenchJSON,
 	}
 }
 
@@ -103,16 +113,10 @@ func ByName(name string) (Driver, error) {
 	return Driver{}, fmt.Errorf("experiments: unknown experiment %q (see Registry)", name)
 }
 
-// uniformSimplex draws d+1 vertices with coordinates uniform over [lo, hi).
+// uniformSimplex draws d+1 vertices with coordinates uniform over [lo, hi)
+// (the shared core.UniformSimplex draw).
 func uniformSimplex(d int, lo, hi float64, rng *rand.Rand) [][]float64 {
-	s := make([][]float64, d+1)
-	for i := range s {
-		s[i] = make([]float64, d)
-		for j := range s[i] {
-			s[i][j] = lo + (hi-lo)*rng.Float64()
-		}
-	}
-	return s
+	return core.UniformSimplex(d, lo, hi, rng)
 }
 
 // runSpec describes one optimization run of the computational study.

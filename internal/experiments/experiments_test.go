@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"Fig3.3", "Fig3.4", "Fig3.5", "Fig3.6", "Fig3.7", "Fig3.8",
 		"Fig3.9", "Fig3.10", "Fig3.11", "Fig3.12", "Fig3.13", "Fig3.14",
 		"Fig3.15", "Fig3.16", "Fig3.17", "Fig3.18", "Fig3.19", "Fig3.20",
-		"BenchSched",
+		"BenchSched", "BenchJobs",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -355,5 +355,42 @@ func TestSchedScalingDeterministicAndComplete(t *testing.T) {
 	}
 	if payload, err := SchedScalingJSON(quick); err != nil || !strings.Contains(string(payload), "\"runs\"") {
 		t.Fatalf("SchedScalingJSON: %v", err)
+	}
+}
+
+func TestBenchJobs(t *testing.T) {
+	res, err := JobsBench(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 5 || res.Runs[0].Concurrency != 1 || res.Runs[4].Concurrency != 16 {
+		t.Fatalf("unexpected run set: %+v", res.Runs)
+	}
+	if !res.Deterministic {
+		t.Fatal("job results changed with run-pool width")
+	}
+	// Jobs block on the simulated point latency, so widening the pool must
+	// raise throughput even on one core; >= 2x at width 8 is conservative
+	// (measured ~5-7x; slack absorbs CI scheduler jitter).
+	eight := res.Runs[3]
+	if eight.Concurrency != 8 || eight.Speedup < 2 {
+		t.Fatalf("throughput speedup at pool width 8 = %.2fx, want >= 2x", eight.Speedup)
+	}
+	for _, r := range res.Runs {
+		if r.P99Ms < r.P50Ms || r.P50Ms <= 0 {
+			t.Fatalf("bad latency percentiles: %+v", r)
+		}
+	}
+	// Render both artifact forms from the single already-computed result —
+	// re-running the wall-clock workload per render would triple this
+	// test's real-time cost.
+	if out := jobsBenchTable(res); !strings.Contains(out, "bitwise-identical") {
+		t.Fatalf("BenchJobs render:\n%s", out)
+	}
+	if payload, err := jobsBenchPayload(res); err != nil || !strings.Contains(string(payload), "\"runs\"") {
+		t.Fatalf("JobsBenchJSON payload: %v", err)
+	}
+	if BenchJSONWriters()["BENCH_jobs.json"] == nil || BenchJSONWriters()["BENCH_sched.json"] == nil {
+		t.Fatal("BenchJSONWriters is missing an artifact")
 	}
 }

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/stats"
+	"repro/internal/testfunc"
+	"repro/internal/textplot"
+)
+
+// This file is the job-service scenario behind BENCH_jobs.json: a fixed
+// batch of optimization jobs — each on an objective with a real per-point
+// latency, the deployment shape the paper's worker fleet exists for — is
+// pushed through a jobs.Manager at increasing run-pool widths, measuring
+// sustained throughput (jobs/sec) and client-visible latency (submit to
+// finish, p50/p99). It is the service-level counterpart of BenchSched: that
+// study shows one run's sampling batches scale with the worker pool; this
+// one shows many users' runs multiplex over the same machine.
+
+// JobsRun is one row of the throughput study.
+type JobsRun struct {
+	// Concurrency is the manager's MaxConcurrent (run-pool width).
+	Concurrency int
+	// Jobs is the number of jobs pushed through the pool.
+	Jobs int
+	// WallSeconds is total submit-to-drain wall time.
+	WallSeconds float64
+	// JobsPerSec is Jobs / WallSeconds.
+	JobsPerSec float64
+	// Speedup is relative to the Concurrency=1 row.
+	Speedup float64
+	// P50Ms and P99Ms are the submit-to-finish latency percentiles in
+	// milliseconds.
+	P50Ms, P99Ms float64
+}
+
+func (r JobsRun) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Concurrency int     `json:"concurrency"`
+		Jobs        int     `json:"jobs"`
+		WallSeconds float64 `json:"wall_seconds"`
+		JobsPerSec  float64 `json:"jobs_per_sec"`
+		Speedup     float64 `json:"speedup"`
+		P50Ms       float64 `json:"p50_ms"`
+		P99Ms       float64 `json:"p99_ms"`
+	}
+	return json.Marshal(row{r.Concurrency, r.Jobs, r.WallSeconds, r.JobsPerSec, r.Speedup, r.P50Ms, r.P99Ms})
+}
+
+// JobsBenchResult is the full study, serialized into BENCH_jobs.json.
+type JobsBenchResult struct {
+	// JobIterations is the per-job simplex iteration cap.
+	JobIterations int `json:"job_iterations"`
+	// PointLatencyUS is the simulated per-point-creation latency in
+	// microseconds (an external simulation spin-up).
+	PointLatencyUS int `json:"point_latency_us"`
+	// NumCPU records the host's core count.
+	NumCPU int `json:"num_cpu"`
+	// Deterministic reports whether every concurrency level produced
+	// bitwise-identical per-job results.
+	Deterministic bool      `json:"deterministic"`
+	Runs          []JobsRun `json:"runs"`
+}
+
+// jobsWorkload pushes n jobs through a manager with the given run-pool width
+// and returns wall seconds, sorted submit-to-finish latencies, and each
+// job's final best estimate (the determinism fingerprint, seed-indexed).
+func jobsWorkload(concurrency, n, iters int, delay time.Duration) (float64, []time.Duration, []float64, error) {
+	m, err := jobs.New(jobs.Config{
+		MaxConcurrent: concurrency,
+		Objectives: map[string]func([]float64) float64{
+			"latentrosen": func(x []float64) float64 {
+				time.Sleep(delay)
+				return testfunc.Rosenbrock(x)
+			},
+		},
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer m.Close()
+
+	start := time.Now()
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := m.Submit(jobs.Spec{
+			Objective:     "latentrosen",
+			Dim:           3,
+			Algorithm:     "pc",
+			Sigma0:        50,
+			Seed:          int64(1 + i),
+			Tol:           -1,
+			Budget:        1e12,
+			MaxIterations: iters,
+		})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	bests := make([]float64, n)
+	lats := make([]time.Duration, n)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			res, err := m.Wait(id)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("job %s: %w", id, err)
+				}
+				mu.Unlock()
+				return
+			}
+			st, _ := m.Get(id)
+			bests[i] = res.BestG
+			lats[i] = st.Finished.Sub(st.Created)
+		}(i, id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, nil, nil, firstErr
+	}
+	wall := time.Since(start).Seconds()
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return wall, lats, bests, nil
+}
+
+// percentile returns the q-th quantile (0..1) of the latencies in
+// milliseconds, via the same stats.Quantile every other driver uses.
+func percentile(lats []time.Duration, q float64) float64 {
+	ms := make([]float64, len(lats))
+	for i, d := range lats {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	return stats.Quantile(ms, q)
+}
+
+// JobsBench measures manager throughput and latency against the run-pool
+// width, checking that multiplexing never changes any job's result.
+func JobsBench(opt Options) (*JobsBenchResult, error) {
+	n, iters := 48, 25
+	delay := 200 * time.Microsecond
+	if opt.Quick {
+		n, iters = 16, 10
+		delay = 100 * time.Microsecond
+	}
+	res := &JobsBenchResult{
+		JobIterations:  iters,
+		PointLatencyUS: int(delay / time.Microsecond),
+		NumCPU:         runtime.NumCPU(),
+		Deterministic:  true,
+	}
+	var baseBests []float64
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		wall, lats, bests, err := jobsWorkload(c, n, iters, delay)
+		if err != nil {
+			return nil, err
+		}
+		if baseBests == nil {
+			baseBests = bests
+		} else {
+			for i := range bests {
+				if bests[i] != baseBests[i] {
+					res.Deterministic = false
+				}
+			}
+		}
+		res.Runs = append(res.Runs, JobsRun{
+			Concurrency: c,
+			Jobs:        n,
+			WallSeconds: wall,
+			JobsPerSec:  float64(n) / wall,
+			P50Ms:       percentile(lats, 0.50),
+			P99Ms:       percentile(lats, 0.99),
+		})
+	}
+	for i := range res.Runs {
+		res.Runs[i].Speedup = res.Runs[i].JobsPerSec / res.Runs[0].JobsPerSec
+	}
+	return res, nil
+}
+
+// JobsBenchJSON renders the study as the BENCH_jobs.json payload.
+func JobsBenchJSON(opt Options) ([]byte, error) {
+	res, err := JobsBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	return jobsBenchPayload(res)
+}
+
+// jobsBenchPayload serializes an already-computed study.
+func jobsBenchPayload(res *JobsBenchResult) ([]byte, error) {
+	return json.MarshalIndent(res, "", "  ")
+}
+
+// BenchJobs renders the throughput study as a table.
+func BenchJobs(opt Options) (string, error) {
+	res, err := JobsBench(opt)
+	if err != nil {
+		return "", err
+	}
+	return jobsBenchTable(res), nil
+}
+
+// jobsBenchTable renders an already-computed study as a table.
+func jobsBenchTable(res *JobsBenchResult) string {
+	header := []string{"pool", "jobs", "wall (s)", "jobs/s", "speedup", "p50 (ms)", "p99 (ms)"}
+	var rows [][]string
+	for _, r := range res.Runs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Concurrency),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%.3f", r.WallSeconds),
+			fmt.Sprintf("%.1f", r.JobsPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.1f", r.P50Ms),
+			fmt.Sprintf("%.1f", r.P99Ms),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs service throughput: %d jobs x %d iterations, %dus point latency, host cores=%d\n",
+		res.Runs[0].Jobs, res.JobIterations, res.PointLatencyUS, res.NumCPU)
+	b.WriteString(textplot.Table(header, rows))
+	fmt.Fprintf(&b, "bitwise-identical job results across pool widths: %v\n", res.Deterministic)
+	return b.String()
+}

@@ -206,6 +206,44 @@ func (c *fileConduit) Close() error {
 	return nil
 }
 
+// WriteAtomic writes data to path with the same write-then-rename pattern the
+// file conduit uses, so a reader (or a recovering process) never observes a
+// partial file: the bytes land in a temporary file in the same directory,
+// are synced, and are renamed over path in one atomic step. The jobs layer
+// persists run checkpoints through it — a crash mid-write leaves the previous
+// checkpoint intact.
+func WriteAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fileio: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fileio: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fileio: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fileio: %w", err)
+	}
+	return nil
+}
+
 // PendingMessages reports the spooled-but-unread message files under dir,
 // sorted; exposed for the directory-layout assertions in tests and for
 // debugging stuck deployments.

@@ -3,6 +3,8 @@ package fileio
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -238,5 +240,33 @@ func TestPendingMessages(t *testing.T) {
 	}
 	if pending[0] >= pending[1] {
 		t.Fatalf("pending not sorted: %v", pending)
+	}
+}
+
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite must replace the content atomically and leave no temp files.
+	if err := WriteAtomic(path, []byte("v2 longer"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2 longer" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	if err := WriteAtomic(filepath.Join(dir, "missing", "x"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory did not error")
 	}
 }

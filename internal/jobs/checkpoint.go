@@ -1,0 +1,159 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fileio"
+)
+
+// The durable checkpoint store: one JSON file per live job under
+// Config.CheckpointDir, written with fileio.WriteAtomic so a crash mid-write
+// leaves the previous checkpoint intact. A checkpoint file is self-contained
+// — spec plus optimizer snapshot — so any process with this binary can
+// recover it.
+
+const ckptSuffix = ".ckpt.json"
+
+// checkpointFile is the on-disk layout.
+type checkpointFile struct {
+	// ID is the job ID, echoed inside the file so a moved/renamed file is
+	// still attributable.
+	ID string `json:"id"`
+	// Saved is the wall-clock write time.
+	Saved time.Time `json:"saved"`
+	// Spec rebuilds the space and config.
+	Spec Spec `json:"spec"`
+	// Snapshot fast-forwards the optimizer.
+	Snapshot *core.Snapshot `json:"snapshot"`
+}
+
+func (m *Manager) ckptPath(id string) string {
+	return filepath.Join(m.cfg.CheckpointDir, id+ckptSuffix)
+}
+
+func (m *Manager) initCheckpointDir() error {
+	if err := os.MkdirAll(m.cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	// A crash mid-WriteAtomic leaves an orphaned temp file (the previous
+	// checkpoint is intact); sweep them so they do not accumulate.
+	stale, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*"+ckptSuffix+".tmp-*"))
+	if err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+	// Reserve the checkpointed IDs up front, so fresh submissions made
+	// before (or instead of) Recover can never take an ID whose checkpoint
+	// is still on disk — a collision would orphan the recoverable run and
+	// eventually delete its checkpoint.
+	ckpts, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*"+ckptSuffix))
+	if err == nil {
+		for _, f := range ckpts {
+			id := strings.TrimSuffix(filepath.Base(f), ckptSuffix)
+			if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
+				m.nextID = n
+			}
+		}
+	}
+	return nil
+}
+
+// saveCheckpoint persists the latest snapshot of a running job.
+func (m *Manager) saveCheckpoint(id string, spec Spec, snap *core.Snapshot) error {
+	if m.cfg.CheckpointDir == "" {
+		return nil
+	}
+	payload, err := json.Marshal(checkpointFile{ID: id, Saved: time.Now(), Spec: spec, Snapshot: snap})
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return fileio.WriteAtomic(m.ckptPath(id), payload, 0o644)
+}
+
+// removeCheckpoint deletes a job's checkpoint file, if any.
+func (m *Manager) removeCheckpoint(id string) {
+	if m.cfg.CheckpointDir == "" {
+		return
+	}
+	os.Remove(m.ckptPath(id))
+}
+
+// Recover scans the checkpoint directory and re-enqueues every checkpointed
+// job under its original ID, resuming from its last snapshot. It returns the
+// recovered job IDs (sorted). Call it once, after New and before Submit, in
+// a freshly started process; recovered and new jobs share the run pool.
+// Unreadable checkpoint files are skipped with an error, never deleted.
+func (m *Manager) Recover() ([]string, error) {
+	if m.cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(m.cfg.CheckpointDir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	var ids []string
+	var firstErr error
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.cfg.CheckpointDir, name))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("jobs: %w", err)
+			}
+			continue
+		}
+		var ckpt checkpointFile
+		if err := json.Unmarshal(data, &ckpt); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("jobs: checkpoint %s: %w", name, err)
+			}
+			continue
+		}
+		id := ckpt.ID
+		if id == "" || ckpt.Snapshot == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("jobs: checkpoint %s is incomplete", name)
+			}
+			continue
+		}
+		if prev, exists := m.jobs[id]; exists {
+			if prev.resume != nil {
+				continue // already recovered (double Recover call)
+			}
+			// A fresh submission took this ID: resuming would collide, and
+			// letting the fresh job finish would delete this checkpoint.
+			// Report it instead of losing the run silently (call Recover
+			// before Submit to avoid this).
+			if firstErr == nil {
+				firstErr = fmt.Errorf("jobs: checkpoint %s: job ID %s already taken by a fresh submission", name, id)
+			}
+			continue
+		}
+		ckpt.Spec.normalize()
+		m.enqueueLocked(id, ckpt.Spec, ckpt.Snapshot)
+		// Keep fresh IDs clear of recovered ones.
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, firstErr
+}

@@ -1,0 +1,49 @@
+package jobs_test
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+)
+
+// Example_manager submits two optimization jobs to a shared manager, waits
+// for both, and prints their outcomes. The same API is re-exported at the
+// module root (repro.NewJobManager) and served over HTTP by cmd/optd.
+func Example_manager() {
+	m, err := jobs.New(jobs.Config{MaxConcurrent: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer m.Close()
+
+	var ids []string
+	for seed := int64(1); seed <= 2; seed++ {
+		id, err := m.Submit(jobs.Spec{
+			Objective:     "rosenbrock",
+			Dim:           3,
+			Algorithm:     "mn",
+			Sigma0:        10,
+			Seed:          seed,
+			Tol:           -1, // run to the iteration cap
+			Budget:        1e12,
+			MaxIterations: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+
+	for _, id := range ids {
+		res, err := m.Wait(id)
+		if err != nil {
+			panic(err)
+		}
+		st, _ := m.Get(id)
+		fmt.Printf("%s: %s (termination %q, %d iterations)\n",
+			id, st.State, res.Termination, res.Iterations)
+	}
+	// Output:
+	// j000001: done (termination "walltime", 68 iterations)
+	// j000002: done (termination "walltime", 96 iterations)
+}

@@ -1,0 +1,612 @@
+// Package jobs is the optimization job service: a manager that multiplexes
+// many concurrent optimization runs — each one a first-class job with a
+// lifecycle, live progress, cancellation, and durable checkpoints — over one
+// shared sched worker fleet.
+//
+// The paper's deployment (§3.1) runs one master process per optimization and
+// survives interruption with the §1.3.5.1 restart strategy. Production
+// black-box services (SigOpt's parallel Bayesian optimization, parallel
+// SPSA) are instead built as a job layer over a worker fleet; this package
+// is that layer for the stochastic simplex:
+//
+//   - a bounded run pool (Config.MaxConcurrent) drains a FIFO queue of
+//     submitted jobs, so a burst of submissions cannot oversubscribe the
+//     machine;
+//   - every job's sampling space dispatches batches on one shared
+//     sched.Scheduler (Config.Workers), the in-process analogue of the
+//     paper's fixed worker fleet;
+//   - per-job context cancellation stops a run within one sampling round
+//     (the sched dispatch guarantee);
+//   - live progress fans out from core.Config.Trace to any number of
+//     subscribers (Manager.Subscribe);
+//   - checkpoints: the optimizer state is snapshotted every
+//     Config.CheckpointEvery iterations and persisted with atomic
+//     write-then-rename (internal/fileio). A killed process recovers its
+//     jobs with Manager.Recover and resumes them bitwise-deterministically
+//     — the paper's restart strategy made durable.
+//
+// cmd/optd exposes the manager over HTTP/JSON; the repro facade re-exports
+// it for in-process library use.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StateQueued means the job is waiting for a run-pool slot.
+	StateQueued State = "queued"
+	// StateRunning means the optimizer is executing.
+	StateRunning State = "running"
+	// StateDone means the run terminated normally (tolerance, walltime or
+	// iteration budget).
+	StateDone State = "done"
+	// StateFailed means the run returned an error or panicked.
+	StateFailed State = "failed"
+	// StateCanceled means the job was canceled before or during the run.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one element of a job's progress stream.
+type Event struct {
+	// JobID identifies the job.
+	JobID string `json:"job_id"`
+	// Type is "state" for lifecycle transitions, "trace" for per-iteration
+	// optimizer progress.
+	Type string `json:"type"`
+	// State is set on "state" events.
+	State State `json:"state,omitempty"`
+	// Trace is set on "trace" events.
+	Trace *core.TraceEvent `json:"trace,omitempty"`
+}
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	// Created/Started/Finished are wall-clock lifecycle timestamps; zero
+	// until reached.
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Iterations and BestG are live progress (updated per trace event).
+	// Iterations accumulates across restart legs and BestG is the best
+	// estimate seen over the whole job, so both are monotonic for polling
+	// clients even when a fresh restart leg begins.
+	Iterations int     `json:"iterations"`
+	BestG      float64 `json:"best_g"`
+	// Error holds the failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+	// CheckpointError reports a durable-checkpoint write failure. The run
+	// itself continues (and may finish done), but it cannot be recovered
+	// from a snapshot newer than the last successful write.
+	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// Resumed reports whether the job was recovered from a checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Config configures a Manager.
+type Config struct {
+	// MaxConcurrent bounds the number of jobs running simultaneously.
+	// Zero selects 4.
+	MaxConcurrent int
+	// Workers sizes the shared sched fleet all job spaces dispatch on.
+	// Zero selects GOMAXPROCS.
+	Workers int
+	// CheckpointDir, when non-empty, enables durable checkpoints: each
+	// running job persists its latest snapshot to <dir>/<id>.ckpt.json with
+	// atomic renames. The directory is created if missing.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in simplex iterations.
+	// Zero selects 20.
+	CheckpointEvery int
+	// TraceBuffer is the per-subscriber event buffer. A slow subscriber
+	// drops events rather than stalling the optimizer. Zero selects 64.
+	TraceBuffer int
+	// RetainTerminal bounds how many terminal (done/failed/canceled) job
+	// records the manager keeps; when exceeded, the oldest terminal jobs are
+	// evicted so a long-lived server's memory stays bounded. Evicted jobs
+	// return ErrNotFound from Get/Result/Wait — like any retention-bounded
+	// service, results must be consumed before the record ages out, so size
+	// the bound well above the submission fan-out between fetches. Zero
+	// selects 4096; negative retains everything.
+	RetainTerminal int
+	// Objectives adds custom named objectives to the testfunc catalog.
+	Objectives map[string]func(x []float64) float64
+}
+
+func (c *Config) normalize() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 20
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 64
+	}
+	if c.RetainTerminal == 0 {
+		c.RetainTerminal = 4096
+	}
+}
+
+// job is the manager's internal record of one run.
+type job struct {
+	id   string
+	spec Spec
+
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *core.Result
+	err      error
+	ckptErr  error // latest checkpoint-write failure; the run itself continues
+	iter     int
+	bestG    float64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	resume *core.Snapshot // non-nil when recovered from a checkpoint
+	done   chan struct{}
+
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// Manager runs many optimizations as jobs over one worker fleet. Create it
+// with New, submit with Submit, and release it with Close.
+type Manager struct {
+	cfg  Config
+	pool *sched.Scheduler
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	queue    []*job
+	terminal []string // terminal job IDs, oldest first, for retention eviction
+	nextID   int
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager is closed")
+
+// New builds a Manager and starts its run pool. When cfg.CheckpointDir is
+// set, previously checkpointed jobs are NOT resumed automatically; call
+// Recover to pick them up.
+func New(cfg Config) (*Manager, error) {
+	cfg.normalize()
+	m := &Manager{
+		cfg:  cfg,
+		pool: sched.New(sched.Config{Workers: cfg.Workers}),
+		jobs: make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if cfg.CheckpointDir != "" {
+		if err := m.initCheckpointDir(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m, nil
+}
+
+// Close cancels every live job, waits for the run pool to drain, and
+// releases the worker fleet. Durable checkpoints of still-running jobs stay
+// on disk, so a new manager can Recover them.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		j.cancel()
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	m.pool.Close()
+}
+
+// Submit validates the spec, assigns a job ID and enqueues the job. The job
+// starts as soon as a run-pool slot frees up.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	spec.normalize()
+	if err := spec.validate(m); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	m.nextID++
+	id := fmt.Sprintf("j%06d", m.nextID)
+	m.enqueueLocked(id, spec, nil)
+	return id, nil
+}
+
+// enqueueLocked registers a job (fresh or recovered) and wakes a runner.
+func (m *Manager) enqueueLocked(id string, spec Spec, resume *core.Snapshot) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		resume:  resume,
+		done:    make(chan struct{}),
+		subs:    make(map[int]chan Event),
+	}
+	if resume != nil {
+		// Seed live progress from the snapshot immediately, so a client
+		// polling across the kill/recover never sees the counters regress.
+		j.iter = resume.Iterations
+		if resume.Restart != nil && resume.Restart.Total != nil {
+			j.iter += resume.Restart.Total.Iterations
+		}
+		if resume.Restart != nil && resume.Restart.Best != nil {
+			j.bestG = resume.Restart.Best.BestG
+		}
+	}
+	m.jobs[id] = j
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	return j
+}
+
+// runner is one run-pool slot: it drains the FIFO queue until Close.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed && len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		if j.ctx.Err() != nil {
+			// Canceled (or manager-closed) while still queued.
+			m.finishLocked(j, nil, nil, StateCanceled)
+			m.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		m.publishLocked(j, Event{JobID: j.id, Type: "state", State: StateRunning})
+		m.mu.Unlock()
+
+		res, err := m.execute(j)
+
+		m.mu.Lock()
+		switch {
+		case err != nil:
+			m.finishLocked(j, nil, err, StateFailed)
+		case res.Termination == "canceled":
+			m.finishLocked(j, res, nil, StateCanceled)
+		default:
+			m.finishLocked(j, res, nil, StateDone)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// execute runs one job to completion (or cancellation). A panic in the
+// objective is converted to a job failure instead of crashing the service.
+func (m *Manager) execute(j *job) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("jobs: run panicked: %v", r)
+		}
+	}()
+	space, err := m.space(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	defer space.Close()
+
+	// Status progress stays monotonic across restart legs: core trace
+	// events restart Iter at 1 per leg, so accumulate a base, and report
+	// the best estimate seen over all legs. Subscribers still receive the
+	// raw per-leg optimizer events. A job recovered from a checkpoint seeds
+	// the counters from the snapshot, so post-recovery polls never show
+	// values below what clients saw before the kill.
+	var legBase, prevIter int
+	var haveBest bool
+	if r := j.resume; r != nil {
+		// Continue the monotonic accounting enqueueLocked seeded.
+		prevIter = r.Iterations // leg-local position at the snapshot
+		if r.Restart != nil && r.Restart.Total != nil {
+			legBase = r.Restart.Total.Iterations // completed earlier legs
+		}
+		haveBest = r.Restart != nil && r.Restart.Best != nil
+	}
+	trace := func(e core.TraceEvent) {
+		m.mu.Lock()
+		if e.Iter <= prevIter {
+			legBase += prevIter // a fresh restart leg began
+		}
+		prevIter = e.Iter
+		j.iter = legBase + e.Iter
+		if !haveBest || e.Best < j.bestG {
+			j.bestG = e.Best
+			haveBest = true
+		}
+		m.publishLocked(j, Event{JobID: j.id, Type: "trace", Trace: &e})
+		m.mu.Unlock()
+	}
+	checkpoint := func(s *core.Snapshot) {
+		if cerr := m.saveCheckpoint(j.id, j.spec, s); cerr != nil {
+			// A checkpoint that cannot be written must not kill the run; the
+			// job just loses durability from this point on. Surfaced as
+			// Status.CheckpointError, distinct from a run failure.
+			m.mu.Lock()
+			j.ckptErr = cerr
+			m.mu.Unlock()
+		}
+	}
+
+	if j.spec.Restarts > 0 {
+		rcfg, err := j.spec.restartConfig()
+		if err != nil {
+			return nil, err
+		}
+		rcfg.Trace = trace
+		if m.cfg.CheckpointDir != "" {
+			rcfg.Checkpoint = checkpoint
+			rcfg.CheckpointEvery = m.cfg.CheckpointEvery
+		}
+		if j.resume != nil {
+			return core.ResumeWithRestartsContext(j.ctx, space, j.resume, rcfg)
+		}
+		return core.OptimizeWithRestartsContext(j.ctx, space, j.spec.initialSimplex(), rcfg)
+	}
+
+	cfg, err := j.spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace = trace
+	if m.cfg.CheckpointDir != "" {
+		cfg.Checkpoint = checkpoint
+		cfg.CheckpointEvery = m.cfg.CheckpointEvery
+	}
+	if j.resume != nil {
+		return core.ResumeContext(j.ctx, space, j.resume, cfg)
+	}
+	return core.OptimizeContext(j.ctx, space, j.spec.initialSimplex(), cfg)
+}
+
+// finishLocked moves a job to a terminal state, publishes the transition,
+// closes subscriber channels and cleans up the durable checkpoint.
+func (m *Manager) finishLocked(j *job, res *core.Result, err error, state State) {
+	j.state = state
+	j.result = res
+	if err != nil {
+		j.err = err
+	}
+	j.finished = time.Now()
+	if res != nil {
+		j.iter = res.Iterations
+		j.bestG = res.BestG
+	}
+	m.publishLocked(j, Event{JobID: j.id, Type: "state", State: state})
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	close(j.done)
+	if state == StateDone || (state == StateCanceled && !m.closed) {
+		// A completed or user-canceled job no longer needs its checkpoint.
+		// Failed jobs keep theirs (re-recoverable once the bug is fixed),
+		// and jobs canceled by Close keep theirs too — shutdown is the
+		// "kill" the durable-checkpoint design exists for, and a fresh
+		// manager picks them up with Recover.
+		m.removeCheckpoint(j.id)
+	}
+	// Retention: evict the oldest terminal records beyond the bound so a
+	// long-lived server's job table stays finite.
+	m.terminal = append(m.terminal, j.id)
+	if r := m.cfg.RetainTerminal; r > 0 {
+		for len(m.terminal) > r {
+			delete(m.jobs, m.terminal[0])
+			m.terminal = m.terminal[1:]
+		}
+	}
+}
+
+// publishLocked fans an event out to the job's subscribers, dropping it for
+// any subscriber whose buffer is full (slow consumers must not stall the
+// optimizer loop).
+func (m *Manager) publishLocked(j *job, e Event) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// Cancel requests cancellation of a job. Queued jobs are removed from the
+// queue and finalized immediately (a Wait on them returns right away, not
+// after the current job frees a slot); running jobs stop within one sampling
+// round and finish with state "canceled". Canceling a terminal job is a
+// no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	j.cancel()
+	if j.state == StateQueued {
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.finishLocked(j, nil, nil, StateCanceled)
+	}
+	return nil
+}
+
+// Get returns the job's current status.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns the status of every job, oldest first.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+func (m *Manager) statusLocked(j *job) Status {
+	st := Status{
+		ID:         j.id,
+		Name:       j.spec.Name,
+		State:      j.state,
+		Spec:       j.spec,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+		Iterations: j.iter,
+		BestG:      j.bestG,
+		Resumed:    j.resume != nil,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.ckptErr != nil {
+		st.CheckpointError = j.ckptErr.Error()
+	}
+	return st
+}
+
+// Result returns the completed job's Result. It errors while the job is
+// still queued or running, for failed jobs (the run error), and for jobs
+// canceled before they ever started (no result exists). A job canceled
+// mid-run does have a Result: the best vertex found up to the cancellation.
+func (m *Manager) Result(id string) (*core.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return m.resultLocked(j)
+}
+
+func (m *Manager) resultLocked(j *job) (*core.Result, error) {
+	if !j.state.Terminal() {
+		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
+	}
+	if j.state == StateFailed {
+		return nil, j.err
+	}
+	if j.result == nil {
+		return nil, fmt.Errorf("jobs: job %s was canceled before it started", j.id)
+	}
+	return j.result, nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns its Result
+// under the same contract as Result (an error for failed jobs and for jobs
+// canceled before they started).
+func (m *Manager) Wait(id string) (*core.Result, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	<-j.done
+	// Read the record directly: the job may already have been evicted from
+	// the table by terminal-retention churn.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resultLocked(j)
+}
+
+// Subscribe registers a progress listener for a job: the returned channel
+// receives "state" and per-iteration "trace" events and is closed when the
+// job reaches a terminal state (or when the returned cancel function is
+// called). Events are dropped, not queued unboundedly, when the subscriber
+// falls more than TraceBuffer events behind.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, m.cfg.TraceBuffer)
+	if j.state.Terminal() {
+		// Deliver the terminal state and close immediately: late subscribers
+		// see a consistent (if short) stream.
+		ch <- Event{JobID: j.id, Type: "state", State: j.state}
+		close(ch)
+		return ch, func() {}, nil
+	}
+	sub := j.nextSub
+	j.nextSub++
+	j.subs[sub] = ch
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if c, ok := j.subs[sub]; ok {
+			delete(j.subs, sub)
+			close(c)
+		}
+	}
+	return ch, cancel, nil
+}

@@ -1,0 +1,197 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+)
+
+// Spec is the serializable description of one optimization job — everything
+// needed to (re)build the run from scratch in any process, which is what
+// makes checkpoints durable: a checkpoint file pairs a Spec with a
+// core.Snapshot, and a recovering manager reconstructs the space from the
+// Spec and fast-forwards it from the Snapshot.
+//
+// The objective is referenced by name (the testfunc catalog plus any
+// custom objectives registered in Config.Objectives) rather than carried as
+// code, exactly as a black-box optimization service's API would.
+type Spec struct {
+	// Name is an optional human label echoed in Status.
+	Name string `json:"name,omitempty"`
+	// Objective names the objective function (e.g. "rosenbrock", "powell").
+	Objective string `json:"objective"`
+	// Dim is the parameter-space dimension.
+	Dim int `json:"dim"`
+	// Algorithm selects the decision policy by CLI name ("det", "mn", "pc",
+	// "pc+mn", "anderson"). Empty defaults to "pc".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Sigma0 is the eq-1.2 noise strength of the observation model.
+	Sigma0 float64 `json:"sigma0"`
+	// Seed seeds both the noise streams and the initial simplex draw, so a
+	// job is reproducible from its spec alone.
+	Seed int64 `json:"seed"`
+	// Budget is the virtual walltime budget per leg (MaxWalltime). Zero
+	// keeps the core default.
+	Budget float64 `json:"budget,omitempty"`
+	// Tol is the spread termination tolerance. Zero keeps the core default;
+	// a negative value disables the tolerance criterion (run to budget).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIterations caps the simplex steps. Zero keeps the core default.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// K overrides the PC confidence multiplier and MN wait factor when > 0.
+	K float64 `json:"k,omitempty"`
+	// Lo and Hi bound the uniform initial-simplex draw. Both zero selects
+	// the default [-5, 5).
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Restarts is the number of §1.3.5.1 restart legs after the first
+	// convergence.
+	Restarts int `json:"restarts,omitempty"`
+	// RestartScale is the rebuilt-simplex edge length per dimension when
+	// Restarts > 0. Zero selects 1.
+	RestartScale float64 `json:"restart_scale,omitempty"`
+	// Workers gives the job's space a private worker pool of that size
+	// instead of the manager's shared fleet. Leave zero for the fleet.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalize fills defaults in place.
+func (s *Spec) normalize() {
+	if s.Algorithm == "" {
+		s.Algorithm = "pc"
+	}
+	if s.Lo == 0 && s.Hi == 0 {
+		s.Lo, s.Hi = -5, 5
+	}
+	if s.RestartScale == 0 {
+		s.RestartScale = 1
+	}
+}
+
+// maxDim and maxWorkers bound client-supplied sizes: specs arrive from
+// untrusted HTTP clients, and an absurd dimension would allocate a multi-GB
+// simplex (a fatal OOM no recover can catch) while an absurd private worker
+// count would bypass the bounded shared fleet. The paper's largest study is
+// d=100; these caps are far above any real workload.
+const (
+	maxDim     = 10_000
+	maxWorkers = 256
+)
+
+// validate checks the spec against the manager's objective registry.
+func (s *Spec) validate(m *Manager) error {
+	if s.Dim < 1 {
+		return errors.New("jobs: Spec.Dim must be >= 1")
+	}
+	if s.Dim > maxDim {
+		return fmt.Errorf("jobs: Spec.Dim %d exceeds the maximum %d", s.Dim, maxDim)
+	}
+	if s.Sigma0 < 0 {
+		return errors.New("jobs: Spec.Sigma0 must be non-negative")
+	}
+	if s.Lo >= s.Hi {
+		return fmt.Errorf("jobs: initial simplex bounds [%v, %v) are empty", s.Lo, s.Hi)
+	}
+	if s.Restarts < 0 {
+		return errors.New("jobs: Spec.Restarts must be >= 0")
+	}
+	if s.RestartScale < 0 {
+		return errors.New("jobs: Spec.RestartScale must be positive")
+	}
+	if s.Workers < 0 || s.Workers > maxWorkers {
+		return fmt.Errorf("jobs: Spec.Workers must be in 0..%d", maxWorkers)
+	}
+	if _, err := core.ParseAlgorithm(s.Algorithm); err != nil {
+		return err
+	}
+	f, err := m.objective(s.Objective)
+	if err != nil {
+		return err
+	}
+	if f.Dim != 0 && f.Dim != s.Dim {
+		return fmt.Errorf("jobs: objective %q requires dimension %d, spec has %d", s.Objective, f.Dim, s.Dim)
+	}
+	return nil
+}
+
+// objective resolves a named objective: custom registrations first, then the
+// testfunc catalog.
+func (m *Manager) objective(name string) (testfunc.Func, error) {
+	if f, ok := m.cfg.Objectives[name]; ok {
+		return testfunc.Func{Name: name, F: f}, nil
+	}
+	return testfunc.ByName(name)
+}
+
+// space builds the job's sampling backend. Resumed jobs rebuild an identical
+// space from the same spec, which is what the snapshot determinism contract
+// requires.
+func (m *Manager) space(spec Spec) (*sim.LocalSpace, error) {
+	f, err := m.objective(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.LocalConfig{
+		Dim:      spec.Dim,
+		F:        f.F,
+		Sigma0:   sim.ConstSigma(spec.Sigma0),
+		Seed:     spec.Seed,
+		Parallel: true,
+	}
+	if spec.Workers > 0 {
+		cfg.Workers = spec.Workers
+	} else {
+		cfg.Pool = m.pool
+	}
+	return sim.NewLocalSpace(cfg), nil
+}
+
+// coreConfig translates a spec into the optimizer configuration.
+func (spec Spec) coreConfig() (core.Config, error) {
+	alg, err := core.ParseAlgorithm(spec.Algorithm)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.DefaultConfig(alg)
+	if spec.Budget > 0 {
+		cfg.MaxWalltime = spec.Budget
+	}
+	switch {
+	case spec.Tol > 0:
+		cfg.Tol = spec.Tol
+	case spec.Tol < 0:
+		cfg.Tol = 0
+	}
+	if spec.MaxIterations > 0 {
+		cfg.MaxIterations = spec.MaxIterations
+	}
+	if spec.K > 0 {
+		cfg.K = spec.K
+		cfg.MNK = spec.K
+	}
+	return cfg, nil
+}
+
+// restartConfig translates a spec with Restarts > 0.
+func (spec Spec) restartConfig() (core.RestartConfig, error) {
+	cfg, err := spec.coreConfig()
+	if err != nil {
+		return core.RestartConfig{}, err
+	}
+	scale := make([]float64, spec.Dim)
+	for i := range scale {
+		scale[i] = spec.RestartScale
+	}
+	return core.RestartConfig{Config: cfg, Restarts: spec.Restarts, Scale: scale}, nil
+}
+
+// initialSimplex draws the d+1 starting vertices uniformly over [Lo, Hi)
+// from the spec seed — the same core.UniformSimplex draw cmd/stochsimplex
+// uses, so a spec seed reproduces the CLI run exactly.
+func (spec Spec) initialSimplex() [][]float64 {
+	return core.UniformSimplex(spec.Dim, spec.Lo, spec.Hi, rand.New(rand.NewSource(spec.Seed)))
+}

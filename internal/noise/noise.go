@@ -107,6 +107,39 @@ func (a *Accumulator) SigmaEst() float64 {
 // Time returns the accumulated sampling time t_k.
 func (a *Accumulator) Time() float64 { return a.t }
 
+// State is the serializable sampling state of an Accumulator. Together with
+// the point's identity (coordinates and stream seed) it is everything needed
+// to reconstruct the point bitwise in a fresh process: the numeric fields are
+// restored verbatim, and the RNG is fast-forwarded by N draws (each Sample
+// consumes exactly one normal variate), so the next increment after a restore
+// observes exactly the noise it would have observed uninterrupted.
+type State struct {
+	// T is the accumulated sampling time.
+	T float64 `json:"t"`
+	// W is the accumulated Brownian noise integral.
+	W float64 `json:"w"`
+	// N is the number of sampling increments (== normal draws consumed).
+	N int `json:"n"`
+	// ZMean, ZM2 and ZCount are the Welford statistics behind SigmaEst.
+	ZMean  float64 `json:"z_mean"`
+	ZM2    float64 `json:"z_m2"`
+	ZCount int     `json:"z_count"`
+}
+
+// State exports the accumulator's sampling state. It performs no RNG draws,
+// so taking a snapshot never perturbs the run being snapshotted.
+func (a *Accumulator) State() State {
+	return State{T: a.t, W: a.w, N: a.n, ZMean: a.zMean, ZM2: a.zM2, ZCount: a.zCount}
+}
+
+// restore overwrites the accumulator's sampling state. The identity fields
+// (f, sigma0) are not part of State; they are reconstructed by the caller
+// from the point's coordinates.
+func (a *Accumulator) restore(st State) {
+	a.t, a.w, a.n = st.T, st.W, st.N
+	a.zMean, a.zM2, a.zCount = st.ZMean, st.ZM2, st.ZCount
+}
+
 // Underlying returns the noise-free value f. It exists for harness-side
 // accounting (computing the R performance measure of section 3.2); the
 // optimization algorithms never call it.
@@ -146,5 +179,20 @@ func NewStream(f, sigma0 float64, seed int64) *Stream {
 func (s *Stream) Sample(dt float64) {
 	s.mu.Lock()
 	s.Accumulator.Sample(dt, s.rng)
+	s.mu.Unlock()
+}
+
+// Restore rebuilds the stream's sampling state from a snapshot taken by
+// State. The stream must be freshly built by NewStream with the same seed the
+// original had: Restore replays st.N normal draws to advance the RNG to the
+// exact position the original stream was at, then overwrites the accumulator
+// state, so the resumed stream is bitwise indistinguishable from one that was
+// never interrupted.
+func (s *Stream) Restore(st State) {
+	s.mu.Lock()
+	for i := 0; i < st.N; i++ {
+		s.rng.NormFloat64()
+	}
+	s.Accumulator.restore(st)
 	s.mu.Unlock()
 }

@@ -243,3 +243,27 @@ func TestStreamsIndependent(t *testing.T) {
 		t.Fatal("distinct seeds produced identical first draws")
 	}
 }
+
+func TestStreamStateRestore(t *testing.T) {
+	// A stream rebuilt from State must continue the exact draw sequence of
+	// the original: Restore replays the recorded number of normal draws.
+	orig := NewStream(1.5, 4, 99)
+	for i := 0; i < 7; i++ {
+		orig.Sample(0.3 * float64(i+1))
+	}
+	st := orig.State()
+
+	resumed := NewStream(1.5, 4, 99)
+	resumed.Restore(st)
+	if resumed.Mean() != orig.Mean() || resumed.SigmaEst() != orig.SigmaEst() ||
+		resumed.Time() != orig.Time() || resumed.Increments() != orig.Increments() {
+		t.Fatalf("restored stream state differs: mean %v vs %v", resumed.Mean(), orig.Mean())
+	}
+	for i := 0; i < 10; i++ {
+		orig.Sample(0.9)
+		resumed.Sample(0.9)
+		if resumed.Mean() != orig.Mean() || resumed.SigmaEst() != orig.SigmaEst() {
+			t.Fatalf("post-restore draw %d diverged: %v vs %v", i, resumed.Mean(), orig.Mean())
+		}
+	}
+}

@@ -78,6 +78,10 @@ type Root struct {
 	Systems []System
 	// Properties lists the cost-function properties.
 	Properties []PropertySpec
+	// Seed, when non-zero, is exported to every phase and property script
+	// as OPT_SEED, so stochastic user simulations can be reproduced from
+	// the mwopt invocation that drove them.
+	Seed int64
 
 	evalSeq int
 }
@@ -288,6 +292,9 @@ func (r *Root) Evaluate(x []float64) (*Evaluation, error) {
 	}
 
 	env := append(os.Environ(), "OPTROOT="+r.Dir, "OPT_EVAL_DIR="+evalDir)
+	if r.Seed != 0 {
+		env = append(env, fmt.Sprintf("OPT_SEED=%d", r.Seed))
+	}
 	var params strings.Builder
 	for i, name := range r.ParamNames {
 		env = append(env, fmt.Sprintf("PARAM_%s=%g", name, x[i]))

@@ -155,6 +155,11 @@ type LocalConfig struct {
 	// makes concurrent batch sampling pay off on real objectives, and what
 	// the sched benchmarks exercise. It must be safe for concurrent calls.
 	SampleCost func(x []float64, dt float64)
+	// Pool, if non-nil, is an externally owned scheduler the space dispatches
+	// its batches on, overriding Workers. Many spaces may share one Pool —
+	// the jobs manager multiplexes every concurrent optimization over a
+	// single worker fleet this way. The space never closes a shared Pool.
+	Pool *sched.Scheduler
 }
 
 // ConstSigma adapts a constant noise strength to the Sigma0 signature.
@@ -188,6 +193,8 @@ func NewLocalSpace(cfg LocalConfig) *LocalSpace {
 	}
 	s := &LocalSpace{cfg: cfg}
 	switch {
+	case cfg.Pool != nil:
+		s.pool = cfg.Pool
 	case cfg.Workers == 0 && cfg.SampleCost == nil:
 		// Cheap sampling: pool dispatch would cost more than the noise
 		// draws it parallelizes. A Workers=1 scheduler runs in-caller and
@@ -238,9 +245,10 @@ func (s *LocalSpace) NewPoint(x []float64) Point {
 	s.nextStream++
 	s.mu.Unlock()
 	return &localPoint{
-		space:  s,
-		x:      xc,
-		stream: noise.NewStream(s.cfg.F(xc), sigma0, sched.StreamSeed(s.cfg.Seed, stream)),
+		space:     s,
+		x:         xc,
+		streamIdx: stream,
+		stream:    noise.NewStream(s.cfg.F(xc), sigma0, sched.StreamSeed(s.cfg.Seed, stream)),
 	}
 }
 
@@ -285,10 +293,11 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 }
 
 type localPoint struct {
-	space  *LocalSpace
-	x      []float64
-	stream *noise.Stream
-	closed bool
+	space     *LocalSpace
+	x         []float64
+	streamIdx int64
+	stream    *noise.Stream
+	closed    bool
 }
 
 func (p *localPoint) X() []float64 { return p.x }

@@ -30,12 +30,21 @@
 // every point draws noise from a private deterministic stream, so results
 // are bitwise identical for any worker count. OptimizeContext adds
 // cancellation: a canceled context stops the run within one sampling round.
+//
+// Above single runs sits the job service: NewJobManager multiplexes many
+// concurrent optimizations — first-class jobs with lifecycle states, live
+// progress streams, cancellation, and durable checkpoint/recover (the
+// paper's §1.3.5.1 restart strategy made durable; see Snapshot / Resume) —
+// over one shared worker fleet. cmd/optd serves the same manager over
+// HTTP/JSON.
 package repro
 
 import (
 	"context"
+	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/mw"
 	"repro/internal/sim"
 )
@@ -144,6 +153,13 @@ func OptimizeWithRestartsContext(ctx context.Context, space Space, initial [][]f
 	return core.OptimizeWithRestartsContext(ctx, space, initial, rcfg)
 }
 
+// UniformSimplex draws the d+1 starting vertices with coordinates uniform
+// over [lo, hi) from rng — the shared initial-simplex draw, so one seed
+// reproduces the same start across the CLI, job specs and library use.
+func UniformSimplex(d int, lo, hi float64, rng *rand.Rand) [][]float64 {
+	return core.UniformSimplex(d, lo, hi, rng)
+}
+
 // NewLocalSpace builds the in-process sampling backend. The concrete type
 // exposes Close, which must be called for spaces configured with a private
 // worker pool (LocalConfig.Workers >= 1); spaces on the shared pool
@@ -157,3 +173,73 @@ func ConstSigma(s float64) func([]float64) float64 { return sim.ConstSigma(s) }
 // Dim+3 vertex workers, one server and Ns simulation clients per worker.
 // Call Shutdown on the returned space when done.
 func NewMWSpace(cfg MWSpaceConfig) (*mw.Space, error) { return mw.NewSpace(cfg) }
+
+// Checkpoint / resume: the paper's §1.3.5.1 restart strategy made durable.
+// A Snapshot captures the complete optimizer state at an iteration boundary
+// (simplex coordinates, per-vertex sampling estimates and RNG stream
+// positions, contraction level, effort counters, virtual clock, restart-leg
+// state); a run resumed from it on a freshly built space is bitwise
+// identical to the uninterrupted run. Enable with Config.Checkpoint /
+// Config.CheckpointEvery.
+type (
+	// Snapshot is the serializable state of a run at an iteration boundary.
+	Snapshot = core.Snapshot
+	// RestartState is the cross-leg state inside a restarted run's Snapshot.
+	RestartState = core.RestartState
+	// Snapshotter is the optional checkpointing face of a Space; LocalSpace
+	// implements it.
+	Snapshotter = sim.Snapshotter
+)
+
+// Resume continues a snapshotted run on a freshly built space (same
+// construction parameters as the original) with the run's original Config.
+func Resume(space Space, snap *Snapshot, cfg Config) (*Result, error) {
+	return core.Resume(space, snap, cfg)
+}
+
+// ResumeContext is Resume with cancellation.
+func ResumeContext(ctx context.Context, space Space, snap *Snapshot, cfg Config) (*Result, error) {
+	return core.ResumeContext(ctx, space, snap, cfg)
+}
+
+// ResumeWithRestartsContext continues a snapshotted OptimizeWithRestarts
+// run: the in-flight leg resumes mid-run, then the remaining restart legs
+// execute.
+func ResumeWithRestartsContext(ctx context.Context, space Space, snap *Snapshot, rcfg RestartConfig) (*Result, error) {
+	return core.ResumeWithRestartsContext(ctx, space, snap, rcfg)
+}
+
+// Job service: the in-process form of the cmd/optd server. A JobManager
+// multiplexes many concurrent optimization runs — first-class jobs with
+// lifecycle states, live progress subscriptions, cancellation, and durable
+// checkpoint/recover — over one shared sampling worker fleet.
+type (
+	// JobManager runs many optimizations as jobs; create with NewJobManager.
+	JobManager = jobs.Manager
+	// JobManagerConfig configures the manager (run-pool width, fleet size,
+	// checkpoint directory, custom objectives).
+	JobManagerConfig = jobs.Config
+	// JobSpec describes one job: named objective, dimension, algorithm,
+	// noise strength, seed, budgets.
+	JobSpec = jobs.Spec
+	// JobStatus is the externally visible state of a job.
+	JobStatus = jobs.Status
+	// JobState is a job lifecycle state (queued, running, done, failed,
+	// canceled).
+	JobState = jobs.State
+	// JobEvent is one element of a job's progress stream.
+	JobEvent = jobs.Event
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = jobs.StateQueued
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobCanceled = jobs.StateCanceled
+)
+
+// NewJobManager starts an optimization job manager. Close it when done;
+// call Recover first in a restarted process to resume checkpointed jobs.
+func NewJobManager(cfg JobManagerConfig) (*JobManager, error) { return jobs.New(cfg) }
