@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,12 +59,14 @@ func main() {
 	cfg.Tol = *tol
 	cfg.Resample = *samples
 	cfg.MaxWalltime = 0
-	cfg.Trace = func(e repro.TraceEvent) {
-		fmt.Printf("iter %4d  g(best)=%.6g  move=%s\n", e.Iter, e.Best, e.Move)
-	}
 
 	space := optroot.NewSpace(root)
-	res, err := repro.Optimize(space, root.InitialSimplex, cfg)
+	res, err := repro.Run(context.Background(), space,
+		repro.WithConfig(cfg),
+		repro.WithInitialSimplex(root.InitialSimplex),
+		repro.WithTrace(func(e repro.TraceEvent) {
+			fmt.Printf("iter %4d  g(best)=%.6g  move=%s\n", e.Iter, e.Best, e.Move)
+		}))
 	fatal(err)
 	if serr := space.Err(); serr != nil {
 		fmt.Fprintf(os.Stderr, "warning: some evaluations failed: %v\n", serr)

@@ -7,7 +7,10 @@
 // Example session:
 //
 //	optd -addr :8080 -checkpoint-dir /var/lib/optd &
+//	curl -s localhost:8080/healthz                 # build info, uptime, pool width, job counts
+//	curl -s localhost:8080/strategies              # what this server can run
 //	curl -s localhost:8080/v1/jobs -d '{"objective":"rosenbrock","dim":3,"algorithm":"pc","sigma0":100,"seed":7,"max_iterations":200}'
+//	curl -s localhost:8080/v1/jobs -d '{"objective":"rastrigin","dim":2,"algorithm":"hybrid","sigma0":2,"seed":7,"particles":20,"swarm_iterations":40}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/trace   # NDJSON progress stream
 //	curl -s localhost:8080/v1/jobs/j000001/result

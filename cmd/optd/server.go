@@ -5,13 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/jobs"
 )
 
 // server adapts a jobs.Manager to HTTP/JSON. Endpoints:
 //
-//	GET    /healthz              liveness probe
+//	GET    /healthz              readiness probe: build info, uptime, pool
+//	                             width, job counts by state
+//	GET    /strategies           the registered optimization strategies
 //	POST   /v1/jobs              submit a job (body: jobs.Spec) -> {"id": ...}
 //	GET    /v1/jobs              list all jobs
 //	GET    /v1/jobs/{id}         job status
@@ -19,18 +25,25 @@ import (
 //	GET    /v1/jobs/{id}/trace   NDJSON stream of progress events
 //	POST   /v1/jobs/{id}/cancel  request cancellation
 //	DELETE /v1/jobs/{id}         request cancellation (alias)
+//
+// A known path with the wrong method returns 405 with an Allow header and a
+// JSON error body, so load balancers and clients see a structured answer
+// instead of the mux default.
 type server struct {
 	mgr *jobs.Manager
 	// defaultSeed is applied to submitted specs that leave Seed zero, so
 	// every job is reproducible from the server log plus its spec.
 	defaultSeed int64
+	// started anchors the /healthz uptime report.
+	started time.Time
 }
 
 // newServer builds the HTTP handler.
 func newServer(mgr *jobs.Manager, defaultSeed int64) http.Handler {
-	s := &server{mgr: mgr, defaultSeed: defaultSeed}
+	s := &server{mgr: mgr, defaultSeed: defaultSeed, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /strategies", s.strategies)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -38,7 +51,28 @@ func newServer(mgr *jobs.Manager, defaultSeed int64) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	// Method-less fallbacks: less specific than the method patterns above,
+	// they match only requests whose method is not served on that path.
+	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
+	mux.HandleFunc("/strategies", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/jobs", methodNotAllowed("GET", "POST"))
+	mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET", "DELETE"))
+	mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/jobs/{id}/trace", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
 	return mux
+}
+
+// methodNotAllowed builds the 405 handler for one path: the Allow header
+// lists the methods the path does serve.
+func methodNotAllowed(allow ...string) http.HandlerFunc {
+	allowed := strings.Join(allow, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allowed)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
+			"error": fmt.Sprintf("method %s not allowed; allowed: %s", r.Method, allowed),
+		})
+	}
 }
 
 // writeJSON sends one JSON response.
@@ -60,8 +94,47 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// buildInfo extracts the Go toolchain version and VCS revision baked into
+// the binary (empty when built without VCS stamping, e.g. in tests).
+func buildInfo() (goVersion, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	goVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return goVersion, revision
+}
+
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	goVersion, revision := buildInfo()
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"go_version":     goVersion,
+		"revision":       revision,
+		"workers":        st.Workers,
+		"max_concurrent": st.MaxConcurrent,
+		"jobs": map[string]int{
+			"queued":   st.Queued,
+			"running":  st.Running,
+			"done":     st.Done,
+			"failed":   st.Failed,
+			"canceled": st.Canceled,
+		},
+	})
+}
+
+// strategies lists what this server can run: every strategy in the core
+// registry, with aliases and resumability (resumable strategies support
+// durable checkpoint/recover across server restarts).
+func (s *server) strategies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"strategies": core.StrategyInfos()})
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {

@@ -73,10 +73,16 @@ func getJSON(t *testing.T, url string, out any) int {
 func TestOptdE2E(t *testing.T) {
 	ts := startTestServer(t, jobs.Config{MaxConcurrent: 4})
 
-	// Health.
-	var health map[string]bool
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health["ok"] {
+	// Health: readiness payload with pool width and per-state job counts.
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["ok"] != true {
 		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+	if w, ok := health["workers"].(float64); !ok || w < 1 {
+		t.Fatalf("healthz workers = %v, want >= 1", health["workers"])
+	}
+	if _, ok := health["jobs"].(map[string]any); !ok {
+		t.Fatalf("healthz missing job counts: %v", health)
 	}
 
 	// Submit a small PC job.
@@ -238,6 +244,135 @@ func TestOptdTraceStreamsLive(t *testing.T) {
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 	if cresp, err := http.DefaultClient.Do(req); err == nil {
 		cresp.Body.Close()
+	}
+}
+
+// TestOptdStrategies verifies the strategy listing: every NM-family policy
+// plus the pso and hybrid strategies, with resumability flags.
+func TestOptdStrategies(t *testing.T) {
+	ts := startTestServer(t, jobs.Config{})
+	var out struct {
+		Strategies []struct {
+			Name      string   `json:"name"`
+			Aliases   []string `json:"aliases"`
+			Resumable bool     `json:"resumable"`
+			Algorithm string   `json:"algorithm"`
+		} `json:"strategies"`
+	}
+	if code := getJSON(t, ts.URL+"/strategies", &out); code != http.StatusOK {
+		t.Fatalf("strategies: code %d", code)
+	}
+	got := map[string]bool{} // name -> resumable
+	for _, s := range out.Strategies {
+		got[s.Name] = s.Resumable
+	}
+	for _, name := range []string{"det", "mn", "pc", "pc+mn", "anderson"} {
+		if resumable, ok := got[name]; !ok || !resumable {
+			t.Errorf("strategy %q: present=%v resumable=%v, want present and resumable", name, ok, resumable)
+		}
+	}
+	for _, name := range []string{"pso", "hybrid"} {
+		if resumable, ok := got[name]; !ok || resumable {
+			t.Errorf("strategy %q: present=%v resumable=%v, want present and not resumable", name, ok, resumable)
+		}
+	}
+}
+
+// TestOptdMethodNotAllowed verifies wrong-method requests get 405 with an
+// Allow header and a JSON error body.
+func TestOptdMethodNotAllowed(t *testing.T) {
+	ts := startTestServer(t, jobs.Config{})
+	cases := []struct {
+		method, path, wantAllow string
+	}{
+		{http.MethodPatch, "/v1/jobs", "GET, POST"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodDelete, "/strategies", "GET"},
+		{http.MethodPost, "/v1/jobs/j000001/result", "GET"},
+		{http.MethodGet, "/v1/jobs/j000001/cancel", "POST"},
+		{http.MethodPut, "/v1/jobs/j000001", "GET, DELETE"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: code %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != c.wantAllow {
+			t.Errorf("%s %s: Allow = %q, want %q", c.method, c.path, allow, c.wantAllow)
+		}
+		if err != nil || body["error"] == "" {
+			t.Errorf("%s %s: want a JSON error body, got %v (err %v)", c.method, c.path, body, err)
+		}
+	}
+}
+
+// TestOptdPSOAndHybridE2E drives the new strategies through the full HTTP
+// surface: submit, stream the trace, and fetch the result.
+func TestOptdPSOAndHybridE2E(t *testing.T) {
+	ts := startTestServer(t, jobs.Config{MaxConcurrent: 2})
+	// The slow objective keeps the runs alive long enough for the trace
+	// subscription to observe live progress.
+	for _, spec := range []jobs.Spec{
+		{Objective: "slowrosen", Dim: 2, Algorithm: "pso",
+			Sigma0: 2, Seed: 7, Particles: 8, SwarmIterations: 10},
+		{Objective: "slowrosen", Dim: 2, Algorithm: "hybrid",
+			Sigma0: 2, Seed: 7, Particles: 8, SwarmIterations: 10,
+			Tol: -1, MaxIterations: 30, Budget: 1e12},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: code %d body %v", spec.Algorithm, code, body)
+		}
+		id, _ := body["id"].(string)
+
+		// The trace stream must deliver per-iteration progress and end in a
+		// terminal state event.
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		traces := 0
+		var last jobs.Event
+		for sc.Scan() {
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				t.Fatalf("%s: bad NDJSON line %q: %v", spec.Algorithm, sc.Text(), err)
+			}
+			if last.Type == "trace" {
+				traces++
+			}
+		}
+		resp.Body.Close()
+		if last.Type != "state" || last.State != jobs.StateDone {
+			t.Fatalf("%s: stream ended with %+v, want done", spec.Algorithm, last)
+		}
+		if traces == 0 {
+			t.Fatalf("%s: no trace events in stream", spec.Algorithm)
+		}
+
+		var res struct {
+			State  jobs.State `json:"state"`
+			Result struct {
+				BestX      []float64 `json:"BestX"`
+				Iterations int       `json:"Iterations"`
+			} `json:"result"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+			t.Fatalf("%s result: code %d", spec.Algorithm, code)
+		}
+		if res.State != jobs.StateDone || len(res.Result.BestX) != 2 || res.Result.Iterations == 0 {
+			t.Fatalf("%s: unexpected result %+v", spec.Algorithm, res)
+		}
 	}
 }
 

@@ -1,16 +1,20 @@
-// Command stochsimplex runs one stochastic simplex optimization on a
-// catalog test function and reports the paper's N/R/D performance measures.
+// Command stochsimplex runs one optimization on a catalog test function and
+// reports the paper's N/R/D performance measures. Any registered strategy
+// can be selected: the five NM-family policies, the noise-aware particle
+// swarm ("pso"), or the PSO→simplex hybrid ("hybrid").
 //
 // Example:
 //
 //	stochsimplex -func rosenbrock -dim 4 -alg pc -sigma 1000 -budget 1e5
+//	stochsimplex -func rastrigin -dim 2 -alg hybrid -sigma 2 -budget 2e4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/testfunc"
@@ -18,17 +22,19 @@ import (
 
 func main() {
 	var (
-		funcName = flag.String("func", "rosenbrock", "objective: rosenbrock, powell, sphere, quartic, beale")
-		algName  = flag.String("alg", "pc", "algorithm: det, mn, pc, pc+mn, anderson")
-		dim      = flag.Int("dim", 3, "parameter-space dimension")
-		sigma    = flag.Float64("sigma", 100, "eq-1.2 noise strength sigma0")
-		seed     = flag.Int64("seed", 1, "random seed (noise and initial simplex)")
-		budget   = flag.Float64("budget", 1e5, "virtual walltime budget (seconds)")
-		tol      = flag.Float64("tol", 0, "spread termination tolerance (0 = run to budget)")
-		k        = flag.Float64("k", 1, "PC confidence multiplier / MN wait factor")
-		lo       = flag.Float64("lo", -5, "initial simplex coordinate lower bound")
-		hi       = flag.Float64("hi", 5, "initial simplex coordinate upper bound")
-		trace    = flag.Bool("trace", false, "print the per-iteration trace")
+		funcName  = flag.String("func", "rosenbrock", "objective: rosenbrock, powell, sphere, quartic, beale, rastrigin")
+		algName   = flag.String("alg", "pc", "strategy: "+strings.Join(repro.Strategies(), ", "))
+		dim       = flag.Int("dim", 3, "parameter-space dimension")
+		sigma     = flag.Float64("sigma", 100, "eq-1.2 noise strength sigma0")
+		seed      = flag.Int64("seed", 1, "random seed (noise, initial simplex, swarm)")
+		budget    = flag.Float64("budget", 1e5, "virtual walltime budget (seconds)")
+		tol       = flag.Float64("tol", 0, "spread termination tolerance (0 = run to budget)")
+		k         = flag.Float64("k", 1, "k-sigma confidence (PC multiplier / MN wait factor / swarm best-update)")
+		lo        = flag.Float64("lo", -5, "initial simplex / search box lower bound")
+		hi        = flag.Float64("hi", 5, "initial simplex / search box upper bound")
+		particles = flag.Int("particles", 0, "swarm size for pso/hybrid (0 = default 20)")
+		swarm     = flag.Int("swarm-iters", 0, "swarm updates for pso/hybrid (0 = default 60)")
+		trace     = flag.Bool("trace", false, "print the per-iteration trace")
 	)
 	flag.Parse()
 
@@ -38,8 +44,6 @@ func main() {
 	if f.Dim != 0 && f.Dim != *dim {
 		fatal(fmt.Errorf("%s requires dimension %d", f.Name, f.Dim))
 	}
-	alg, err := repro.ParseAlgorithm(*algName)
-	fatal(err)
 
 	space := repro.NewLocalSpace(repro.LocalConfig{
 		Dim:      *dim,
@@ -48,25 +52,27 @@ func main() {
 		Seed:     *seed,
 		Parallel: true,
 	})
-	cfg := repro.DefaultConfig(alg)
-	cfg.MaxWalltime = *budget
-	cfg.Tol = *tol
-	cfg.K = *k
-	cfg.MNK = *k
+
+	opts := []repro.RunOption{
+		repro.WithStrategy(*algName),
+		repro.WithUniformSimplex(*seed, *lo, *hi),
+		repro.WithBudget(*budget),
+		repro.WithTolerance(*tol),
+		repro.WithConfidence(*k),
+		repro.WithSwarm(*particles, *swarm),
+	}
 	if *trace {
-		cfg.Trace = func(e repro.TraceEvent) {
+		opts = append(opts, repro.WithTrace(func(e repro.TraceEvent) {
 			fmt.Printf("iter %5d  t=%10.1f  g=%12.5g  f=%12.5g  move=%s\n",
 				e.Iter, e.Time, e.Best, e.BestUnderlying, e.Move)
-		}
+		}))
 	}
 
-	initial := repro.UniformSimplex(*dim, *lo, *hi, rand.New(rand.NewSource(*seed)))
-
-	res, err := repro.Optimize(space, initial, cfg)
+	res, err := repro.Run(context.Background(), space, opts...)
 	fatal(err)
 
 	xmin := f.Minimizer(*dim)
-	fmt.Printf("algorithm    %s on %s (d=%d, sigma0=%g)\n", alg, f.Name, *dim, *sigma)
+	fmt.Printf("strategy     %s on %s (d=%d, sigma0=%g)\n", *algName, f.Name, *dim, *sigma)
 	fmt.Printf("termination  %s after %d iterations, %.0f virtual s, %d evaluations\n",
 		res.Termination, res.Iterations, res.Walltime, res.Evaluations)
 	fmt.Printf("best x       %.6g\n", res.BestX)

@@ -15,12 +15,15 @@ func rosenbrock2(x []float64) float64 {
 	return 100*a*a + b*b
 }
 
-// ExampleOptimize runs the point-to-point comparison algorithm (Algorithm 3)
+// ExampleRun runs the point-to-point comparison algorithm (Algorithm 3)
 // on a noisy 2-D Rosenbrock objective and checks the optimum was found. The
 // objective is observed through sampling noise whose variance decays as
 // sigma0^2/t (eq 1.2); PC only commits a simplex move once the comparison is
-// resolved at a k-sigma confidence.
-func ExampleOptimize() {
+// resolved at a k-sigma confidence. Functional options select the strategy,
+// the starting simplex and the budget; the same pattern covers restarts
+// (WithRestarts), checkpoints (WithCheckpoint), resumption (WithResume) and
+// the global strategies (WithStrategy("pso"), WithStrategy("hybrid")).
+func ExampleRun() {
 	space := repro.NewLocalSpace(repro.LocalConfig{
 		Dim:      2,
 		F:        rosenbrock2,
@@ -29,11 +32,12 @@ func ExampleOptimize() {
 		Parallel: true, // vertices sample concurrently on the virtual clock
 	})
 
-	cfg := repro.DefaultConfig(repro.PC)
-	cfg.MaxWalltime = 1e5 // virtual seconds of sampling budget
-
 	initial := [][]float64{{-2, 2}, {3, 1}, {0, -2}}
-	res, err := repro.Optimize(space, initial, cfg)
+	res, err := repro.Run(context.Background(), space,
+		repro.WithAlgorithm(repro.PC),
+		repro.WithInitialSimplex(initial),
+		repro.WithBudget(1e5), // virtual seconds of sampling budget
+	)
 	if err != nil {
 		fmt.Println("optimize:", err)
 		return
@@ -72,14 +76,20 @@ func Example_concurrentSampling() {
 	})
 	defer space.Close() // a space with its own pool is closed when done
 
-	cfg := repro.DefaultConfig(repro.PC)
-	cfg.MaxWalltime = 1e5
-
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel() // cancel() at any time stops the run within one batch
 
-	initial := [][]float64{{-2, 2}, {3, 1}, {0, -2}}
-	res, err := repro.OptimizeContext(ctx, space, initial, cfg)
+	// A Runner bundles a validated option set for reuse across spaces.
+	runner, err := repro.NewRunner(
+		repro.WithAlgorithm(repro.PC),
+		repro.WithInitialSimplex([][]float64{{-2, 2}, {3, 1}, {0, -2}}),
+		repro.WithBudget(1e5),
+	)
+	if err != nil {
+		fmt.Println("options:", err)
+		return
+	}
+	res, err := runner.Run(ctx, space)
 	if err != nil {
 		fmt.Println("optimize:", err)
 		return
@@ -90,7 +100,7 @@ func Example_concurrentSampling() {
 		Parallel: true, Workers: 1,
 	})
 	defer serial.Close()
-	sres, err := repro.Optimize(serial, initial, cfg)
+	sres, err := runner.Run(ctx, serial)
 	if err != nil {
 		fmt.Println("optimize:", err)
 		return

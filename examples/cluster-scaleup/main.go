@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -51,7 +52,8 @@ func main() {
 		cfg.OverheadBase = 0.5
 		cfg.OverheadPerDim = 0.05 // master bookkeeping + file I/O per step
 
-		res, err := repro.Optimize(space, initial, cfg)
+		res, err := repro.Run(context.Background(), space,
+			repro.WithConfig(cfg), repro.WithInitialSimplex(initial))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -109,12 +110,13 @@ func main() {
 	}
 	defer space.Shutdown()
 
-	cfg := repro.DefaultConfig(repro.PC)
-	cfg.MaxWalltime = 4e3
-	cfg.Tol = 0.01
-
 	initial := [][]float64{{1.3, 3.5}, {3.0, 1.4}, {4.0, 4.0}}
-	res, err := repro.Optimize(space, initial, cfg)
+	res, err := repro.Run(context.Background(), space,
+		repro.WithAlgorithm(repro.PC),
+		repro.WithInitialSimplex(initial),
+		repro.WithBudget(4e3),
+		repro.WithTolerance(0.01),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,10 @@
 // global phase, handing its best basin to the stochastic simplex for the
 // precise local refinement PSO lacks "in refined search stages".
 //
+// Both phases are registered strategies, so the whole pipeline is one
+// repro.Run call with WithStrategy("hybrid") — the same name a job spec or
+// the optd HTTP API would use ({"algorithm": "hybrid"}).
+//
 // The objective is a noisy Rastrigin surface: a grid of local minima that
 // traps any single-start simplex, observed through eq-1.2 sampling noise.
 //
@@ -10,11 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
-	"repro/internal/pso"
 	"repro/internal/testfunc"
 )
 
@@ -26,41 +30,36 @@ func main() {
 		Seed:     7,
 		Parallel: true,
 	})
+	ctx := context.Background()
 
 	// A plain simplex from a corner start for contrast.
-	cfg := repro.DefaultConfig(repro.PC)
-	cfg.MaxWalltime = 2e4
-	cfg.Tol = 1e-4
-	trapped, err := repro.Optimize(space, [][]float64{{4.2, 4.3}, {4.4, 4.2}, {4.3, 4.5}}, cfg)
+	trapped, err := repro.Run(ctx, space,
+		repro.WithAlgorithm(repro.PC),
+		repro.WithInitialSimplex([][]float64{{4.2, 4.3}, {4.4, 4.2}, {4.3, 4.5}}),
+		repro.WithBudget(2e4),
+		repro.WithTolerance(1e-4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("plain PC simplex from (4,4):  f(best) = %7.4f at %.3f (trapped in a local minimum)\n",
 		testfunc.Rastrigin(trapped.BestX), trapped.BestX)
 
-	// The hybrid: noise-aware PSO sweep, then PC refinement.
-	lo := []float64{-5.12, -5.12}
-	hi := []float64{5.12, 5.12}
-	pcfg := pso.DefaultConfig(lo, hi)
-	pcfg.Particles = 30
-	pcfg.Iterations = 40
-	pcfg.Seed = 7
-
-	lcfg := repro.DefaultConfig(repro.PC)
-	lcfg.MaxWalltime = 2e4
-	lcfg.Tol = 1e-5
-
-	local, global, err := pso.OptimizeHybrid(space, pso.HybridConfig{
-		PSO:        pcfg,
-		Local:      lcfg,
-		LocalScale: []float64{0.2, 0.2},
-	})
+	// The hybrid strategy: a noise-aware PSO sweep of the box, then PC
+	// refinement of the best basin with simplex edge lengths 0.2 (the
+	// restart-scale option doubles as the refinement scale).
+	best, err := repro.Run(ctx, space,
+		repro.WithStrategy("hybrid"),
+		repro.WithUniformSimplex(7, -5.12, 5.12), // swarm box + seed
+		repro.WithSwarm(30, 40),                  // particles, swarm updates
+		repro.WithRestarts(0, 0.2),               // local refinement scale
+		repro.WithBudget(4e4),
+		repro.WithTolerance(1e-5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("PSO global phase:             f(best) = %7.4f at %.3f (%d swarm updates)\n",
-		testfunc.Rastrigin(global.BestX), global.BestX, global.Iterations)
-	fmt.Printf("after PC simplex refinement:  f(best) = %7.4f at %.3f (%d simplex steps)\n",
-		testfunc.Rastrigin(local.BestX), local.BestX, local.Iterations)
+	fmt.Printf("hybrid (PSO then PC simplex): f(best) = %7.4f at %.3f (%d iterations: swarm + simplex)\n",
+		testfunc.Rastrigin(best.BestX), best.BestX, best.Iterations)
 	fmt.Println("(global minimum is 0 at the origin; local minima sit on the integer grid)")
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,13 @@ func main() {
 		{0, -4, 2, 3},
 	}
 
-	res, err := repro.Optimize(space, initial, cfg)
+	// One entry point for everything: functional options select the
+	// strategy, the starting simplex and the budgets (WithConfig carries
+	// the niche DecisionBudget setting above).
+	res, err := repro.Run(context.Background(), space,
+		repro.WithConfig(cfg),
+		repro.WithInitialSimplex(initial),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,12 +46,13 @@ func main() {
 
 	// The cost valley around good water models is long and gently curved;
 	// restarts around the incumbent (paper section 1.3.5.1) prevent the
-	// simplex from collapsing before it reaches the basin floor.
-	res, err := repro.OptimizeWithRestarts(space, initial, repro.RestartConfig{
-		Config:   cfg,
-		Restarts: 3,
-		Scale:    []float64{0.01, 0.02, 0.005}, // natural (eps, sigma, qH) scales
-	})
+	// simplex from collapsing before it reaches the basin floor. The scales
+	// are the natural (eps, sigma, qH) parameter scales.
+	res, err := repro.Run(context.Background(), space,
+		repro.WithConfig(cfg),
+		repro.WithInitialSimplex(initial),
+		repro.WithRestarts(3, 0.01, 0.02, 0.005),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -72,21 +72,22 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm converts a CLI name into an Algorithm.
+// ParseAlgorithm converts a CLI name into an Algorithm. Names resolve
+// through the strategy registry (canonical names and aliases such as "pcmn"
+// and "pc-mn", case-insensitive), so ParseAlgorithm and strategy-based spec
+// validation can never disagree about what a name means. Strategies that are
+// not NM-family policies (e.g. "pso") are rejected here: they have no
+// Algorithm value and must be run by strategy name.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "det", "DET":
-		return DET, nil
-	case "mn", "MN":
-		return MN, nil
-	case "pc", "PC":
-		return PC, nil
-	case "pcmn", "pc+mn", "PCMN", "PC+MN":
-		return PCMN, nil
-	case "anderson", "andersonnm", "AndersonNM":
-		return AndersonNM, nil
+	strat, err := LookupStrategy(s)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+	as, ok := strat.(AlgorithmStrategy)
+	if !ok {
+		return 0, fmt.Errorf("core: %q is a registered strategy but not a simplex algorithm; run it by strategy name", strat.Name())
+	}
+	return as.Algorithm(), nil
 }
 
 // ConditionMask selects which of the seven PC comparison conditions use the
@@ -288,6 +289,11 @@ func DefaultConfig(alg Algorithm) Config {
 		MaxWaitRounds:  60,
 	}
 }
+
+// Validate checks the configuration against a space dimension: the
+// pre-sampling gate Run and every strategy use, exported so third-party
+// Strategy implementations can apply the same contract in their Validate.
+func (c *Config) Validate(dim int) error { return c.validate(dim) }
 
 func (c *Config) validate(dim int) error {
 	if c.K <= 0 && (c.Algorithm == PC || c.Algorithm == PCMN) {

@@ -23,35 +23,47 @@ import (
 // finish, p50/p99). It is the service-level counterpart of BenchSched: that
 // study shows one run's sampling batches scale with the worker pool; this
 // one shows many users' runs multiplex over the same machine.
+//
+// Beside the primary PC workload, the same batch runs as "pso" and "hybrid"
+// jobs through the identical manager/driver path, demonstrating that the
+// strategy registry adds no per-job overhead: a strategy's throughput is set
+// by its own sampling effort, not by how it was dispatched.
 
 // JobsRun is one row of the throughput study.
 type JobsRun struct {
 	// Concurrency is the manager's MaxConcurrent (run-pool width).
 	Concurrency int
-	// Jobs is the number of jobs pushed through the pool.
+	// Jobs is the number of jobs pushed through the pool (per strategy).
 	Jobs int
-	// WallSeconds is total submit-to-drain wall time.
+	// WallSeconds is total submit-to-drain wall time of the PC workload.
 	WallSeconds float64
-	// JobsPerSec is Jobs / WallSeconds.
+	// JobsPerSec is Jobs / WallSeconds for the PC workload.
 	JobsPerSec float64
 	// Speedup is relative to the Concurrency=1 row.
 	Speedup float64
-	// P50Ms and P99Ms are the submit-to-finish latency percentiles in
-	// milliseconds.
+	// P50Ms and P99Ms are the PC workload's submit-to-finish latency
+	// percentiles in milliseconds.
 	P50Ms, P99Ms float64
+	// PSOJobsPerSec and HybridJobsPerSec are the same batch pushed through
+	// the "pso" and "hybrid" strategies.
+	PSOJobsPerSec    float64
+	HybridJobsPerSec float64
 }
 
 func (r JobsRun) MarshalJSON() ([]byte, error) {
 	type row struct {
-		Concurrency int     `json:"concurrency"`
-		Jobs        int     `json:"jobs"`
-		WallSeconds float64 `json:"wall_seconds"`
-		JobsPerSec  float64 `json:"jobs_per_sec"`
-		Speedup     float64 `json:"speedup"`
-		P50Ms       float64 `json:"p50_ms"`
-		P99Ms       float64 `json:"p99_ms"`
+		Concurrency      int     `json:"concurrency"`
+		Jobs             int     `json:"jobs"`
+		WallSeconds      float64 `json:"wall_seconds"`
+		JobsPerSec       float64 `json:"jobs_per_sec"`
+		Speedup          float64 `json:"speedup"`
+		P50Ms            float64 `json:"p50_ms"`
+		P99Ms            float64 `json:"p99_ms"`
+		PSOJobsPerSec    float64 `json:"pso_jobs_per_sec"`
+		HybridJobsPerSec float64 `json:"hybrid_jobs_per_sec"`
 	}
-	return json.Marshal(row{r.Concurrency, r.Jobs, r.WallSeconds, r.JobsPerSec, r.Speedup, r.P50Ms, r.P99Ms})
+	return json.Marshal(row{r.Concurrency, r.Jobs, r.WallSeconds, r.JobsPerSec, r.Speedup,
+		r.P50Ms, r.P99Ms, r.PSOJobsPerSec, r.HybridJobsPerSec})
 }
 
 // JobsBenchResult is the full study, serialized into BENCH_jobs.json.
@@ -69,10 +81,12 @@ type JobsBenchResult struct {
 	Runs          []JobsRun `json:"runs"`
 }
 
-// jobsWorkload pushes n jobs through a manager with the given run-pool width
-// and returns wall seconds, sorted submit-to-finish latencies, and each
-// job's final best estimate (the determinism fingerprint, seed-indexed).
-func jobsWorkload(concurrency, n, iters int, delay time.Duration) (float64, []time.Duration, []float64, error) {
+// jobsWorkload pushes n jobs of one strategy through a manager with the
+// given run-pool width and returns wall seconds, sorted submit-to-finish
+// latencies, and each job's final best estimate (the determinism
+// fingerprint, seed-indexed). The swarm sizes keep the pso/hybrid sampling
+// effort in the same ballpark as iters simplex steps.
+func jobsWorkload(strategy string, concurrency, n, iters int, delay time.Duration) (float64, []time.Duration, []float64, error) {
 	m, err := jobs.New(jobs.Config{
 		MaxConcurrent: concurrency,
 		Objectives: map[string]func([]float64) float64{
@@ -91,14 +105,16 @@ func jobsWorkload(concurrency, n, iters int, delay time.Duration) (float64, []ti
 	ids := make([]string, n)
 	for i := range ids {
 		id, err := m.Submit(jobs.Spec{
-			Objective:     "latentrosen",
-			Dim:           3,
-			Algorithm:     "pc",
-			Sigma0:        50,
-			Seed:          int64(1 + i),
-			Tol:           -1,
-			Budget:        1e12,
-			MaxIterations: iters,
+			Objective:       "latentrosen",
+			Dim:             3,
+			Algorithm:       strategy,
+			Sigma0:          50,
+			Seed:            int64(1 + i),
+			Tol:             -1,
+			Budget:          1e12,
+			MaxIterations:   iters,
+			Particles:       6,
+			SwarmIterations: iters / 2,
 		})
 		if err != nil {
 			return 0, nil, nil, err
@@ -162,29 +178,36 @@ func JobsBench(opt Options) (*JobsBenchResult, error) {
 		NumCPU:         runtime.NumCPU(),
 		Deterministic:  true,
 	}
-	var baseBests []float64
+	baseBests := map[string][]float64{} // strategy -> concurrency=1 fingerprints
 	for _, c := range []int{1, 2, 4, 8, 16} {
-		wall, lats, bests, err := jobsWorkload(c, n, iters, delay)
-		if err != nil {
-			return nil, err
-		}
-		if baseBests == nil {
-			baseBests = bests
-		} else {
-			for i := range bests {
-				if bests[i] != baseBests[i] {
-					res.Deterministic = false
+		row := JobsRun{Concurrency: c, Jobs: n}
+		for _, strategy := range []string{"pc", "pso", "hybrid"} {
+			wall, lats, bests, err := jobsWorkload(strategy, c, n, iters, delay)
+			if err != nil {
+				return nil, err
+			}
+			if base, ok := baseBests[strategy]; !ok {
+				baseBests[strategy] = bests
+			} else {
+				for i := range bests {
+					if bests[i] != base[i] {
+						res.Deterministic = false
+					}
 				}
 			}
+			switch strategy {
+			case "pc":
+				row.WallSeconds = wall
+				row.JobsPerSec = float64(n) / wall
+				row.P50Ms = percentile(lats, 0.50)
+				row.P99Ms = percentile(lats, 0.99)
+			case "pso":
+				row.PSOJobsPerSec = float64(n) / wall
+			case "hybrid":
+				row.HybridJobsPerSec = float64(n) / wall
+			}
 		}
-		res.Runs = append(res.Runs, JobsRun{
-			Concurrency: c,
-			Jobs:        n,
-			WallSeconds: wall,
-			JobsPerSec:  float64(n) / wall,
-			P50Ms:       percentile(lats, 0.50),
-			P99Ms:       percentile(lats, 0.99),
-		})
+		res.Runs = append(res.Runs, row)
 	}
 	for i := range res.Runs {
 		res.Runs[i].Speedup = res.Runs[i].JobsPerSec / res.Runs[0].JobsPerSec
@@ -217,7 +240,7 @@ func BenchJobs(opt Options) (string, error) {
 
 // jobsBenchTable renders an already-computed study as a table.
 func jobsBenchTable(res *JobsBenchResult) string {
-	header := []string{"pool", "jobs", "wall (s)", "jobs/s", "speedup", "p50 (ms)", "p99 (ms)"}
+	header := []string{"pool", "jobs", "wall (s)", "pc jobs/s", "speedup", "p50 (ms)", "p99 (ms)", "pso jobs/s", "hybrid jobs/s"}
 	var rows [][]string
 	for _, r := range res.Runs {
 		rows = append(rows, []string{
@@ -228,12 +251,14 @@ func jobsBenchTable(res *JobsBenchResult) string {
 			fmt.Sprintf("%.2fx", r.Speedup),
 			fmt.Sprintf("%.1f", r.P50Ms),
 			fmt.Sprintf("%.1f", r.P99Ms),
+			fmt.Sprintf("%.1f", r.PSOJobsPerSec),
+			fmt.Sprintf("%.1f", r.HybridJobsPerSec),
 		})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "jobs service throughput: %d jobs x %d iterations, %dus point latency, host cores=%d\n",
 		res.Runs[0].Jobs, res.JobIterations, res.PointLatencyUS, res.NumCPU)
 	b.WriteString(textplot.Table(header, rows))
-	fmt.Fprintf(&b, "bitwise-identical job results across pool widths: %v\n", res.Deterministic)
+	fmt.Fprintf(&b, "bitwise-identical job results across pool widths (pc, pso and hybrid): %v\n", res.Deterministic)
 	return b.String()
 }

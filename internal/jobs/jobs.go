@@ -381,35 +381,20 @@ func (m *Manager) execute(j *job) (res *core.Result, err error) {
 		}
 	}
 
-	if j.spec.Restarts > 0 {
-		rcfg, err := j.spec.restartConfig()
-		if err != nil {
-			return nil, err
-		}
-		rcfg.Trace = trace
-		if m.cfg.CheckpointDir != "" {
-			rcfg.Checkpoint = checkpoint
-			rcfg.CheckpointEvery = m.cfg.CheckpointEvery
-		}
-		if j.resume != nil {
-			return core.ResumeWithRestartsContext(j.ctx, space, j.resume, rcfg)
-		}
-		return core.OptimizeWithRestartsContext(j.ctx, space, j.spec.initialSimplex(), rcfg)
-	}
-
-	cfg, err := j.spec.coreConfig()
+	// Every strategy — the NM family, pso, the hybrid, and anything a
+	// third party registers — runs through the one core driver, so the job
+	// layer adds no per-strategy code paths.
+	rs, err := j.spec.runSpec()
 	if err != nil {
 		return nil, err
 	}
-	cfg.Trace = trace
-	if m.cfg.CheckpointDir != "" {
-		cfg.Checkpoint = checkpoint
-		cfg.CheckpointEvery = m.cfg.CheckpointEvery
+	rs.Config.Trace = trace
+	if m.cfg.CheckpointDir != "" && j.spec.resumable() {
+		rs.Config.Checkpoint = checkpoint
+		rs.Config.CheckpointEvery = m.cfg.CheckpointEvery
 	}
-	if j.resume != nil {
-		return core.ResumeContext(j.ctx, space, j.resume, cfg)
-	}
-	return core.OptimizeContext(j.ctx, space, j.spec.initialSimplex(), cfg)
+	rs.Resume = j.resume
+	return core.Run(j.ctx, space, rs)
 }
 
 // finishLocked moves a job to a terminal state, publishes the transition,
@@ -496,6 +481,44 @@ func (m *Manager) Get(id string) (Status, error) {
 		return Status{}, ErrNotFound
 	}
 	return m.statusLocked(j), nil
+}
+
+// Stats is a point-in-time aggregate view of the manager, the payload
+// behind the optd server's /healthz readiness probe.
+type Stats struct {
+	// Workers is the size of the shared sampling fleet.
+	Workers int `json:"workers"`
+	// MaxConcurrent is the run-pool width.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Queued..Canceled count jobs by lifecycle state (terminal counts are
+	// bounded by Config.RetainTerminal).
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// Stats returns the manager's aggregate state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Workers: m.pool.Workers(), MaxConcurrent: m.cfg.MaxConcurrent}
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+	}
+	return st
 }
 
 // List returns the status of every job, oldest first.

@@ -3,11 +3,15 @@ package jobs
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
+
+	// Register the pso and hybrid strategies, so job specs (and everything
+	// above this package: the repro facade, cmd/optd) can select them by
+	// name through the core strategy registry.
+	_ "repro/internal/pso"
 )
 
 // Spec is the serializable description of one optimization job — everything
@@ -26,8 +30,10 @@ type Spec struct {
 	Objective string `json:"objective"`
 	// Dim is the parameter-space dimension.
 	Dim int `json:"dim"`
-	// Algorithm selects the decision policy by CLI name ("det", "mn", "pc",
-	// "pc+mn", "anderson"). Empty defaults to "pc".
+	// Algorithm selects the optimization strategy by registry name ("det",
+	// "mn", "pc", "pc+mn", "anderson", "pso", "hybrid", or any registered
+	// alias such as "pcmn"/"pc-mn"). Empty defaults to "pc". GET /strategies
+	// on the optd server lists what the process can run.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Sigma0 is the eq-1.2 noise strength of the observation model.
 	Sigma0 float64 `json:"sigma0"`
@@ -57,6 +63,12 @@ type Spec struct {
 	// Workers gives the job's space a private worker pool of that size
 	// instead of the manager's shared fleet. Leave zero for the fleet.
 	Workers int `json:"workers,omitempty"`
+	// Particles is the swarm size for the "pso" and "hybrid" strategies.
+	// Zero keeps the strategy default.
+	Particles int `json:"particles,omitempty"`
+	// SwarmIterations is the number of swarm updates for the "pso" and
+	// "hybrid" strategies. Zero keeps the strategy default.
+	SwarmIterations int `json:"swarm_iterations,omitempty"`
 }
 
 // normalize fills defaults in place.
@@ -72,14 +84,15 @@ func (s *Spec) normalize() {
 	}
 }
 
-// maxDim and maxWorkers bound client-supplied sizes: specs arrive from
-// untrusted HTTP clients, and an absurd dimension would allocate a multi-GB
-// simplex (a fatal OOM no recover can catch) while an absurd private worker
-// count would bypass the bounded shared fleet. The paper's largest study is
-// d=100; these caps are far above any real workload.
+// maxDim, maxWorkers and maxParticles bound client-supplied sizes: specs
+// arrive from untrusted HTTP clients, and an absurd dimension would allocate
+// a multi-GB simplex (a fatal OOM no recover can catch) while an absurd
+// private worker count would bypass the bounded shared fleet. The paper's
+// largest study is d=100; these caps are far above any real workload.
 const (
-	maxDim     = 10_000
-	maxWorkers = 256
+	maxDim       = 10_000
+	maxWorkers   = 256
+	maxParticles = 10_000
 )
 
 // validate checks the spec against the manager's objective registry.
@@ -105,8 +118,18 @@ func (s *Spec) validate(m *Manager) error {
 	if s.Workers < 0 || s.Workers > maxWorkers {
 		return fmt.Errorf("jobs: Spec.Workers must be in 0..%d", maxWorkers)
 	}
-	if _, err := core.ParseAlgorithm(s.Algorithm); err != nil {
+	if s.Particles < 0 || s.Particles > maxParticles {
+		return fmt.Errorf("jobs: Spec.Particles must be in 0..%d", maxParticles)
+	}
+	if s.SwarmIterations < 0 {
+		return errors.New("jobs: Spec.SwarmIterations must be >= 0")
+	}
+	strat, err := core.LookupStrategy(s.Algorithm)
+	if err != nil {
 		return err
+	}
+	if _, isNM := strat.(core.AlgorithmStrategy); !isNM && s.Restarts > 0 {
+		return fmt.Errorf("jobs: strategy %q does not take restart legs", strat.Name())
 	}
 	f, err := m.objective(s.Objective)
 	if err != nil {
@@ -150,11 +173,19 @@ func (m *Manager) space(spec Spec) (*sim.LocalSpace, error) {
 	return sim.NewLocalSpace(cfg), nil
 }
 
-// coreConfig translates a spec into the optimizer configuration.
-func (spec Spec) coreConfig() (core.Config, error) {
-	alg, err := core.ParseAlgorithm(spec.Algorithm)
+// runSpec translates the job spec into the strategy-agnostic core.RunSpec
+// the shared driver consumes. NM-family jobs draw their initial simplex from
+// the spec seed inside the strategy — the same core.UniformSimplex draw
+// cmd/stochsimplex uses, so a spec seed reproduces the CLI run exactly;
+// pso-family jobs use the same box and seed for the swarm.
+func (spec Spec) runSpec() (core.RunSpec, error) {
+	strat, err := core.LookupStrategy(spec.Algorithm)
 	if err != nil {
-		return core.Config{}, err
+		return core.RunSpec{}, err
+	}
+	alg := core.PC
+	if as, ok := strat.(core.AlgorithmStrategy); ok {
+		alg = as.Algorithm()
 	}
 	cfg := core.DefaultConfig(alg)
 	if spec.Budget > 0 {
@@ -173,25 +204,23 @@ func (spec Spec) coreConfig() (core.Config, error) {
 		cfg.K = spec.K
 		cfg.MNK = spec.K
 	}
-	return cfg, nil
+	return core.RunSpec{
+		Strategy:     strat.Name(),
+		Config:       cfg,
+		Seed:         spec.Seed,
+		Lo:           spec.Lo,
+		Hi:           spec.Hi,
+		HasBox:       true,
+		Restarts:     spec.Restarts,
+		RestartScale: []float64{spec.RestartScale},
+		Particles:    spec.Particles,
+		SwarmIters:   spec.SwarmIterations,
+	}, nil
 }
 
-// restartConfig translates a spec with Restarts > 0.
-func (spec Spec) restartConfig() (core.RestartConfig, error) {
-	cfg, err := spec.coreConfig()
-	if err != nil {
-		return core.RestartConfig{}, err
-	}
-	scale := make([]float64, spec.Dim)
-	for i := range scale {
-		scale[i] = spec.RestartScale
-	}
-	return core.RestartConfig{Config: cfg, Restarts: spec.Restarts, Scale: scale}, nil
-}
-
-// initialSimplex draws the d+1 starting vertices uniformly over [Lo, Hi)
-// from the spec seed — the same core.UniformSimplex draw cmd/stochsimplex
-// uses, so a spec seed reproduces the CLI run exactly.
-func (spec Spec) initialSimplex() [][]float64 {
-	return core.UniformSimplex(spec.Dim, spec.Lo, spec.Hi, rand.New(rand.NewSource(spec.Seed)))
+// resumable reports whether the spec's strategy supports checkpoint/resume;
+// the manager skips durable checkpointing for strategies that do not.
+func (spec Spec) resumable() bool {
+	strat, err := core.LookupStrategy(spec.Algorithm)
+	return err == nil && strat.Resumable()
 }

@@ -13,6 +13,7 @@
 package pso
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,6 +51,10 @@ type Config struct {
 	MaxWalltime float64
 	// Seed drives the swarm's own randomness.
 	Seed int64
+	// Trace, if non-nil, receives one event per swarm update (Iter is the
+	// update number, Best/BestX the current global best, Move is MoveNone —
+	// the swarm makes no simplex transformations).
+	Trace func(core.TraceEvent)
 }
 
 // DefaultConfig returns standard constriction-coefficient PSO settings with
@@ -108,6 +113,10 @@ type Result struct {
 	Evaluations int64
 	// ResampleRounds counts indeterminate-comparison resampling rounds.
 	ResampleRounds int
+	// Termination names what stopped the swarm: "iterations", "walltime",
+	// or "canceled" (the context ended; the result holds the best found so
+	// far).
+	Termination string
 }
 
 type particle struct {
@@ -118,23 +127,57 @@ type particle struct {
 // Optimize runs the swarm on the space. Particles are initialized uniformly
 // in the box with velocities up to half the box width.
 func Optimize(space sim.Space, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), space, cfg)
+}
+
+// OptimizeContext is Optimize with cancellation: every sampling batch is
+// dispatched through the space's concurrent path (sim.SampleBatch) under
+// ctx. As in the simplex optimizers, cancellation is a termination
+// criterion, not an error — the swarm stops within one sampling round and
+// the Result reports Termination "canceled" with the best position found so
+// far.
+func OptimizeContext(ctx context.Context, space sim.Space, cfg Config) (*Result, error) {
 	d := space.Dim()
 	if err := cfg.validate(d); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	clock := space.Clock()
 	start := clock.Now()
 
 	res := &Result{}
-	swarm := make([]*particle, cfg.Particles)
-	var gbest sim.Point
-	newEval := func(x []float64) sim.Point {
-		p := space.NewPoint(x)
-		space.SampleAll([]sim.Point{p}, cfg.SampleDt)
-		return p
+	canceled := false
+	var fatal error
+	// sample dispatches one concurrent batch under ctx. Cancellation flips
+	// the canceled flag (a termination criterion); any other batch error (a
+	// dead backend) is fatal and aborts the run.
+	sample := func(pts []sim.Point, dt float64) bool {
+		if canceled || fatal != nil {
+			return false
+		}
+		err := sim.SampleBatch(ctx, space, pts, dt)
+		switch {
+		case err == nil:
+			return true
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			canceled = true
+		default:
+			fatal = err
+		}
+		return false
 	}
-	for i := range swarm {
+
+	swarm := make([]*particle, 0, cfg.Particles)
+	var gbest sim.Point
+	closeAll := func() {
+		for _, p := range swarm {
+			p.pbest.Close()
+		}
+	}
+	for i := 0; i < cfg.Particles; i++ {
 		x := make([]float64, d)
 		v := make([]float64, d)
 		for j := 0; j < d; j++ {
@@ -142,8 +185,28 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 			x[j] = cfg.Lo[j] + w*rng.Float64()
 			v[j] = (rng.Float64() - 0.5) * w
 		}
-		pt := newEval(x)
-		swarm[i] = &particle{x: append([]float64(nil), x...), v: v, pbest: pt}
+		pt := space.NewPoint(x)
+		if !sample([]sim.Point{pt}, cfg.SampleDt) {
+			pt.Close()
+			if fatal != nil {
+				closeAll()
+				return nil, fatal
+			}
+			// Canceled before the swarm finished initializing: report the
+			// best of the particles sampled so far, if any.
+			res.Termination = "canceled"
+			if gbest != nil {
+				est := gbest.Estimate()
+				res.BestX = append([]float64(nil), gbest.X()...)
+				res.BestG = est.Mean
+				res.BestSigma = est.Sigma
+			}
+			res.Walltime = clock.Now() - start
+			res.Evaluations = space.Evaluations()
+			closeAll()
+			return res, nil
+		}
+		swarm = append(swarm, &particle{x: append([]float64(nil), x...), v: v, pbest: pt})
 		if gbest == nil || pt.Estimate().Mean < gbest.Estimate().Mean {
 			gbest = pt
 		}
@@ -152,9 +215,28 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 	overBudget := func() bool {
 		return cfg.MaxWalltime > 0 && clock.Now()-start >= cfg.MaxWalltime
 	}
+	emitTrace := func() {
+		if cfg.Trace == nil {
+			return
+		}
+		est := gbest.Estimate()
+		underlying := math.NaN()
+		if f, ok := sim.Underlying(gbest); ok {
+			underlying = f
+		}
+		cfg.Trace(core.TraceEvent{
+			Iter:           res.Iterations,
+			Time:           clock.Now() - start,
+			Best:           est.Mean,
+			BestX:          append([]float64(nil), gbest.X()...),
+			BestUnderlying: underlying,
+			Move:           core.MoveNone,
+		})
+	}
 
 	// confidentlyBelow resolves "a below b" at cfg.K sigma, resampling both
-	// while indeterminate; falls back to plain means at the round cap.
+	// while indeterminate; falls back to plain means at the round cap, the
+	// walltime budget, or cancellation.
 	confidentlyBelow := func(a, b sim.Point) bool {
 		if cfg.K == 0 {
 			return a.Estimate().Mean < b.Estimate().Mean
@@ -171,13 +253,15 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 			if rounds >= cfg.MaxRounds || overBudget() {
 				return ea.Mean < eb.Mean
 			}
-			space.SampleAll([]sim.Point{a, b}, dt)
+			if !sample([]sim.Point{a, b}, dt) {
+				return ea.Mean < eb.Mean
+			}
 			dt *= cfg.ResampleGrowth
 			res.ResampleRounds++
 		}
 	}
 
-	for iter := 0; iter < cfg.Iterations && !overBudget(); iter++ {
+	for iter := 0; iter < cfg.Iterations && !overBudget() && !canceled && fatal == nil; iter++ {
 		for _, p := range swarm {
 			gx := gbest.X()
 			px := p.pbest.X()
@@ -199,7 +283,13 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 					p.x[j] = cfg.Lo[j] // degenerate overshoot
 				}
 			}
-			cand := newEval(p.x)
+			cand := space.NewPoint(p.x)
+			if !sample([]sim.Point{cand}, cfg.SampleDt) {
+				// Canceled (or failed) mid-update: abandon the candidate and
+				// let the outer loop terminate.
+				cand.Close()
+				break
+			}
 			if confidentlyBelow(cand, p.pbest) {
 				if p.pbest == gbest {
 					// The global best is being replaced as a personal best;
@@ -217,7 +307,15 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 				gbest = p.pbest
 			}
 		}
+		if canceled || fatal != nil {
+			break
+		}
 		res.Iterations++
+		emitTrace()
+	}
+	if fatal != nil {
+		closeAll()
+		return nil, fatal
 	}
 
 	est := gbest.Estimate()
@@ -226,9 +324,15 @@ func Optimize(space sim.Space, cfg Config) (*Result, error) {
 	res.BestSigma = est.Sigma
 	res.Walltime = clock.Now() - start
 	res.Evaluations = space.Evaluations()
-	for _, p := range swarm {
-		p.pbest.Close()
+	switch {
+	case canceled:
+		res.Termination = "canceled"
+	case res.Iterations < cfg.Iterations:
+		res.Termination = "walltime"
+	default:
+		res.Termination = "iterations"
 	}
+	closeAll()
 	return res, nil
 }
 
@@ -247,13 +351,25 @@ type HybridConfig struct {
 // the stochastic simplex, returning the refinement result (whose BestX is at
 // least as good as the swarm's, at the local algorithm's confidence).
 func OptimizeHybrid(space sim.Space, cfg HybridConfig) (*core.Result, *Result, error) {
+	return OptimizeHybridContext(context.Background(), space, cfg)
+}
+
+// OptimizeHybridContext is OptimizeHybrid with cancellation. A context
+// canceled during the global phase skips the local refinement and returns a
+// nil local result with the partial swarm result; canceled during the local
+// phase, the local result reports Termination "canceled" as usual.
+func OptimizeHybridContext(ctx context.Context, space sim.Space, cfg HybridConfig) (*core.Result, *Result, error) {
 	d := space.Dim()
 	if len(cfg.LocalScale) != d {
 		return nil, nil, fmt.Errorf("pso: LocalScale has %d entries, want %d", len(cfg.LocalScale), d)
 	}
-	global, err := Optimize(space, cfg.PSO)
+	global, err := OptimizeContext(ctx, space, cfg.PSO)
 	if err != nil {
 		return nil, nil, err
+	}
+	if global.Termination == "canceled" || global.BestX == nil {
+		global.Termination = "canceled"
+		return nil, global, nil
 	}
 	initial := make([][]float64, d+1)
 	initial[0] = append([]float64(nil), global.BestX...)
@@ -262,7 +378,7 @@ func OptimizeHybrid(space sim.Space, cfg HybridConfig) (*core.Result, *Result, e
 		v[i] += cfg.LocalScale[i]
 		initial[i+1] = v
 	}
-	local, err := core.Optimize(space, initial, cfg.Local)
+	local, err := core.OptimizeContext(ctx, space, initial, cfg.Local)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,82 @@
+package pso
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+)
+
+func newStratSpace() *sim.LocalSpace {
+	return sim.NewLocalSpace(sim.LocalConfig{
+		Dim: 2, F: testfunc.Rastrigin, Sigma0: sim.ConstSigma(2), Seed: 7, Parallel: true,
+	})
+}
+
+func TestStrategiesRegistered(t *testing.T) {
+	for _, name := range []string{"pso", "swarm", "hybrid", "pso+nm"} {
+		s, err := core.LookupStrategy(name)
+		if err != nil {
+			t.Fatalf("LookupStrategy(%q): %v", name, err)
+		}
+		if s.Resumable() {
+			t.Errorf("%q reports Resumable, want false", name)
+		}
+	}
+	if _, err := core.ParseAlgorithm("pso"); err == nil {
+		t.Error("ParseAlgorithm(pso) succeeded; pso has no Algorithm value")
+	}
+}
+
+func TestOptimizeContextCancellation(t *testing.T) {
+	space := newStratSpace()
+	cfg := DefaultConfig([]float64{-5, -5}, []float64{5, 5})
+	cfg.Seed = 7
+	cfg.Iterations = 1000
+	updates := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Trace = func(core.TraceEvent) {
+		updates++
+		if updates == 3 {
+			cancel() // stop the swarm after the third update
+		}
+	}
+	res, err := OptimizeContext(ctx, space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Termination != "canceled" {
+		t.Fatalf("Termination = %q, want canceled", res.Termination)
+	}
+	if res.Iterations >= 1000 || res.BestX == nil {
+		t.Fatalf("canceled run looks wrong: %+v", res)
+	}
+}
+
+func TestTraceAndTermination(t *testing.T) {
+	space := newStratSpace()
+	cfg := DefaultConfig([]float64{-5, -5}, []float64{5, 5})
+	cfg.Seed = 7
+	cfg.Particles = 6
+	cfg.Iterations = 9
+	var events []core.TraceEvent
+	cfg.Trace = func(e core.TraceEvent) { events = append(events, e) }
+	res, err := Optimize(space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Termination != "iterations" {
+		t.Fatalf("Termination = %q, want iterations", res.Termination)
+	}
+	if len(events) != 9 {
+		t.Fatalf("got %d trace events, want 9", len(events))
+	}
+	for i, e := range events {
+		if e.Iter != i+1 || len(e.BestX) != 2 {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+	}
+}

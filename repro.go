@@ -6,19 +6,35 @@
 // (eq 1.2 of the paper). Four Nelder-Mead-derived decision policies are
 // provided — DET (deterministic), MN (max-noise, Algorithm 2), PC
 // (point-to-point comparison, Algorithm 3) and PCMN (both, Algorithm 4) —
-// plus the Anderson et al. criterion as a baseline.
+// plus the Anderson et al. criterion as a baseline, the noise-aware particle
+// swarm of the paper's §5.2 future-work direction ("pso"), and a PSO→simplex
+// hybrid ("hybrid") that uses the stochastic simplex as the local search
+// subroutine of §1.3.5.1.
 //
-// Minimal use:
+// Everything runs through one entry point, Run, driven by functional
+// options:
 //
 //	space := repro.NewLocalSpace(repro.LocalConfig{
 //		Dim:      4,
 //		F:        myObjective,          // underlying deterministic value
 //		Sigma0:   repro.ConstSigma(10), // eq 1.2 noise strength
+//		Seed:     42,
 //		Parallel: true,
 //	})
-//	cfg := repro.DefaultConfig(repro.PC)
-//	cfg.MaxWalltime = 1e5 // virtual seconds of sampling budget
-//	res, err := repro.Optimize(space, initialSimplex, cfg)
+//	res, err := repro.Run(ctx, space,
+//		repro.WithAlgorithm(repro.PC),
+//		repro.WithUniformSimplex(42, -5, 5), // or WithInitialSimplex(...)
+//		repro.WithBudget(1e5),               // virtual seconds of sampling
+//	)
+//
+// The same options cover restarted runs (WithRestarts), checkpointed runs
+// (WithCheckpoint) and resumed runs (WithResume); NewRunner bundles a
+// validated option set for reuse. Optimizers are Strategy implementations
+// in a process-wide registry — select one with WithAlgorithm or, by name,
+// WithStrategy ("pc", "pc+mn", "pso", "hybrid", ...; Strategies lists
+// them), and plug in your own with RegisterStrategy. The pre-Run entry
+// points (Optimize, OptimizeContext, OptimizeWithRestarts, Resume, ...)
+// remain as deprecated shims over Run.
 //
 // For the paper's parallel deployment (master, d+3 vertex workers, servers
 // and simulation clients over the MW framework), build a space with
@@ -28,15 +44,16 @@
 // Both backends sample batches concurrently through the internal/sched
 // worker pool (LocalConfig.Workers bounds the in-process concurrency), and
 // every point draws noise from a private deterministic stream, so results
-// are bitwise identical for any worker count. OptimizeContext adds
-// cancellation: a canceled context stops the run within one sampling round.
+// are bitwise identical for any worker count. A canceled context stops any
+// run within one sampling round with Termination "canceled".
 //
 // Above single runs sits the job service: NewJobManager multiplexes many
 // concurrent optimizations — first-class jobs with lifecycle states, live
 // progress streams, cancellation, and durable checkpoint/recover (the
-// paper's §1.3.5.1 restart strategy made durable; see Snapshot / Resume) —
-// over one shared worker fleet. cmd/optd serves the same manager over
-// HTTP/JSON.
+// paper's §1.3.5.1 restart strategy made durable; see Snapshot /
+// WithResume) — over one shared worker fleet. Jobs select their strategy by
+// registry name (jobs.Spec.Algorithm), so "pso" and "hybrid" jobs work
+// end-to-end. cmd/optd serves the same manager over HTTP/JSON.
 package repro
 
 import (
@@ -103,8 +120,11 @@ type (
 // DefaultConfig returns the paper's default parameters for an algorithm.
 func DefaultConfig(alg Algorithm) Config { return core.DefaultConfig(alg) }
 
-// ParseAlgorithm converts a CLI name ("det", "mn", "pc", "pc+mn",
-// "anderson") into an Algorithm.
+// ParseAlgorithm converts a CLI name ("det", "mn", "pc", "pc+mn" — aliases
+// "pcmn" and "pc-mn" — or "anderson", case-insensitive) into an Algorithm.
+// Names resolve through the strategy registry, so ParseAlgorithm and job-
+// spec validation can never disagree; strategies with no Algorithm value
+// ("pso", "hybrid") are rejected here and must be run via WithStrategy.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
 // Conditions builds an error-bar mask from PC condition numbers 1..7.
@@ -115,15 +135,19 @@ const AllConditions = core.AllConditions
 
 // Optimize runs the configured stochastic simplex from the initial simplex
 // (d+1 vertices of dimension d).
+//
+// Deprecated: use Run with WithConfig and WithInitialSimplex.
 func Optimize(space Space, initial [][]float64, cfg Config) (*Result, error) {
-	return core.Optimize(space, initial, cfg)
+	return Run(context.Background(), space, WithConfig(cfg), WithInitialSimplex(initial))
 }
 
 // OptimizeContext is Optimize with cancellation: sampling batches dispatch
 // concurrently under ctx, and a canceled context terminates the run within
 // one sampling round with Result.Termination == "canceled".
+//
+// Deprecated: use Run with WithConfig and WithInitialSimplex.
 func OptimizeContext(ctx context.Context, space Space, initial [][]float64, cfg Config) (*Result, error) {
-	return core.OptimizeContext(ctx, space, initial, cfg)
+	return Run(ctx, space, WithConfig(cfg), WithInitialSimplex(initial))
 }
 
 // SampleBatch samples the points concurrently through the space's
@@ -143,14 +167,19 @@ type RestartConfig = core.RestartConfig
 // OptimizeWithRestarts runs Optimize and then the configured number of
 // restarts from fresh simplices around the best point, returning the best
 // result with accumulated effort counters.
+//
+// Deprecated: use Run with WithConfig, WithInitialSimplex and WithRestarts.
 func OptimizeWithRestarts(space Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
-	return core.OptimizeWithRestarts(space, initial, rcfg)
+	return OptimizeWithRestartsContext(context.Background(), space, initial, rcfg)
 }
 
 // OptimizeWithRestartsContext is OptimizeWithRestarts with cancellation: a
 // canceled context ends the current leg and skips the remaining restarts.
+//
+// Deprecated: use Run with WithConfig, WithInitialSimplex and WithRestarts.
 func OptimizeWithRestartsContext(ctx context.Context, space Space, initial [][]float64, rcfg RestartConfig) (*Result, error) {
-	return core.OptimizeWithRestartsContext(ctx, space, initial, rcfg)
+	return Run(ctx, space, WithConfig(rcfg.Config), WithInitialSimplex(initial),
+		WithRestarts(rcfg.Restarts, rcfg.Scale...), WithRestartDecay(rcfg.ScaleDecay))
 }
 
 // UniformSimplex draws the d+1 starting vertices with coordinates uniform
@@ -193,20 +222,27 @@ type (
 
 // Resume continues a snapshotted run on a freshly built space (same
 // construction parameters as the original) with the run's original Config.
+//
+// Deprecated: use Run with WithConfig and WithResume.
 func Resume(space Space, snap *Snapshot, cfg Config) (*Result, error) {
-	return core.Resume(space, snap, cfg)
+	return ResumeContext(context.Background(), space, snap, cfg)
 }
 
 // ResumeContext is Resume with cancellation.
+//
+// Deprecated: use Run with WithConfig and WithResume.
 func ResumeContext(ctx context.Context, space Space, snap *Snapshot, cfg Config) (*Result, error) {
-	return core.ResumeContext(ctx, space, snap, cfg)
+	return Run(ctx, space, WithConfig(cfg), WithResume(snap))
 }
 
 // ResumeWithRestartsContext continues a snapshotted OptimizeWithRestarts
 // run: the in-flight leg resumes mid-run, then the remaining restart legs
 // execute.
+//
+// Deprecated: use Run with WithConfig, WithResume and WithRestarts.
 func ResumeWithRestartsContext(ctx context.Context, space Space, snap *Snapshot, rcfg RestartConfig) (*Result, error) {
-	return core.ResumeWithRestartsContext(ctx, space, snap, rcfg)
+	return Run(ctx, space, WithConfig(rcfg.Config), WithResume(snap),
+		WithRestarts(rcfg.Restarts, rcfg.Scale...), WithRestartDecay(rcfg.ScaleDecay))
 }
 
 // Job service: the in-process form of the cmd/optd server. A JobManager
