@@ -1,0 +1,58 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzCheckpointResume lets the fuzzer choose the strategy, objective,
+// driver mode, noise seed and snapshot position, then checks the
+// checkpoint/resume determinism contract end to end: a run killed at the
+// fuzzer-chosen iteration and resumed from its serialized snapshot (in a
+// fresh space, at a different worker count) must reproduce the uninterrupted
+// run's remaining trace and final result bitwise. The seed corpus covers
+// every NM policy and every driver mode, so `go test` exercises the corpus
+// as regression tests on every CI run; `go test -fuzz=FuzzCheckpointResume`
+// explores beyond it.
+func FuzzCheckpointResume(f *testing.F) {
+	// One seed entry per NM policy, cycling objectives and modes, plus
+	// mid-speculation and adaptive-floor positions.
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1), false, false)
+	f.Add(uint8(1), uint8(1), uint8(3), int64(2), true, false)
+	f.Add(uint8(2), uint8(2), uint8(5), int64(3), true, true)
+	f.Add(uint8(3), uint8(0), uint8(7), int64(4), false, true)
+	f.Add(uint8(4), uint8(1), uint8(9), int64(5), true, false)
+	f.Add(uint8(2), uint8(0), uint8(1), int64(99), true, true)
+
+	var nm []string
+	for _, s := range core.Strategies() {
+		if nmFamily(s) {
+			nm = append(nm, s)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, stratIdx, objIdx, snapIdx uint8, seed int64, speculative, adaptive bool) {
+		const maxIter = 10
+		c := traceCase{
+			strategy:  nm[int(stratIdx)%len(nm)],
+			objective: objectives[int(objIdx)%len(objectives)].name,
+			dim:       objectives[int(objIdx)%len(objectives)].dim,
+			mode:      mode{speculative: speculative, adaptive: adaptive},
+		}
+		full, snaps, wantRes := tracedRun(t, c, 1, maxIter, seed)
+		if len(snaps) == 0 {
+			t.Skip("run produced no snapshots")
+		}
+		i := int(snapIdx) % len(snaps)
+		gotTrace, gotRes := resumeRun(t, c, 4, maxIter, seed, snaps[i])
+		if gotRes != wantRes {
+			t.Fatalf("%s seed=%d snapshot %d: resumed result differs:\n  want: %s  got:  %s",
+				c.name(), seed, i+1, wantRes, gotRes)
+		}
+		if want := traceSuffix(full, i+1); gotTrace != want {
+			t.Fatalf("%s seed=%d snapshot %d: resumed trace differs:\n%s",
+				c.name(), seed, i+1, firstDiff(want, gotTrace))
+		}
+	})
+}

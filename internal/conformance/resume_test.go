@@ -1,0 +1,109 @@
+package conformance
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// This file is the checkpoint/resume half of the conformance contract: a run
+// resumed from ANY snapshot — taken between any two iterations, in any driver
+// mode, including runs whose steps speculate — must reproduce the
+// uninterrupted run's trace and final result bitwise. The golden tests pin
+// the uninterrupted trajectory; these tests pin that a kill/recover cycle is
+// invisible.
+
+// tracedRun executes one case at the given pool width and noise seed,
+// capturing the rendered trace, a serialized snapshot per iteration, and the
+// rendered result.
+func tracedRun(tb testing.TB, c traceCase, workers, maxIter int, seed int64) (trace string, snaps [][]byte, result string) {
+	tb.Helper()
+	space := caseSpace(tb, c, workers, seed)
+	defer space.Close()
+	var b strings.Builder
+	spec := caseSpec(c, func(e core.TraceEvent) { b.WriteString(formatEvent(e)) })
+	spec.Config.MaxIterations = maxIter
+	spec.Config.Checkpoint = func(s *core.Snapshot) {
+		data, err := s.MarshalBinary()
+		if err != nil {
+			tb.Errorf("marshal snapshot: %v", err)
+			return
+		}
+		snaps = append(snaps, data)
+	}
+	spec.Config.CheckpointEvery = 1
+	res, err := core.Run(context.Background(), space, spec)
+	if err != nil {
+		tb.Fatalf("%s: %v", c.name(), err)
+	}
+	return b.String(), snaps, formatResult(res)
+}
+
+// resumeRun continues a case from a serialized snapshot on a fresh space and
+// returns the post-resume trace and rendered result.
+func resumeRun(tb testing.TB, c traceCase, workers, maxIter int, seed int64, raw []byte) (trace, result string) {
+	tb.Helper()
+	snap := new(core.Snapshot)
+	if err := snap.UnmarshalBinary(raw); err != nil {
+		tb.Fatalf("unmarshal snapshot: %v", err)
+	}
+	space := caseSpace(tb, c, workers, seed)
+	defer space.Close()
+	var b strings.Builder
+	spec := caseSpec(c, func(e core.TraceEvent) { b.WriteString(formatEvent(e)) })
+	spec.Config.MaxIterations = maxIter
+	spec.Resume = snap
+	res, err := core.Run(context.Background(), space, spec)
+	if err != nil {
+		tb.Fatalf("%s resume: %v", c.name(), err)
+	}
+	return b.String(), formatResult(res)
+}
+
+// traceSuffix drops the first n iteration lines (the pre-snapshot part of an
+// uninterrupted trace).
+func traceSuffix(trace string, n int) string {
+	lines := strings.SplitAfter(trace, "\n")
+	if n > len(lines) {
+		n = len(lines)
+	}
+	return strings.Join(lines[n:], "")
+}
+
+// TestResumeExact resumes every NM-family strategy from every snapshot of a
+// short run, in sequential, speculative and speculative+adaptive modes, at
+// mixed worker counts, and requires the continuation to be bitwise identical
+// to the uninterrupted run.
+func TestResumeExact(t *testing.T) {
+	const maxIter = 12
+	for _, strat := range core.Strategies() {
+		if !nmFamily(strat) {
+			continue
+		}
+		for _, m := range []mode{seqMode, specMode, bothMode} {
+			c := traceCase{strat, "rosenbrock", 3, m}
+			c2 := c
+			t.Run(c.name(), func(t *testing.T) {
+				t.Parallel()
+				full, snaps, wantRes := tracedRun(t, c2, 1, maxIter, defaultSeed)
+				if len(snaps) == 0 {
+					t.Fatal("no snapshots captured")
+				}
+				for i, raw := range snaps {
+					// The resumed run uses a different pool width than the
+					// original on purpose: worker count is not part of the
+					// state.
+					gotTrace, gotRes := resumeRun(t, c2, 4, maxIter, defaultSeed, raw)
+					if gotRes != wantRes {
+						t.Fatalf("snapshot %d: resumed result differs:\n  want: %s  got:  %s", i+1, wantRes, gotRes)
+					}
+					if want := traceSuffix(full, i+1); gotTrace != want {
+						t.Fatalf("snapshot %d: resumed trace differs:\n%s", i+1, firstDiff(want, gotTrace))
+					}
+				}
+			})
+		}
+	}
+}

@@ -215,6 +215,42 @@ type Config struct {
 	// weakens PC relative to MN — see EXPERIMENTS.md note 2).
 	Scope ResampleScope
 
+	// Speculative enables batch-speculative candidate evaluation: each
+	// simplex step submits the reflection, expansion and contraction
+	// candidates (plus the shrink vertices when a collapse is plausible) as
+	// ONE prioritized sampling batch before the decision, then selects the
+	// accepted move from the landed results and discards the rest. A step
+	// costs one batch round-trip instead of up to four sequential ones, so
+	// on a worker pool of >= 3 the per-step latency drops by the depth of
+	// the skipped round-trips (see BENCH_sched.json). Speculative runs are
+	// bitwise-deterministic at any worker count (per-candidate noise
+	// streams are pre-assigned in a fixed order) but follow a different —
+	// equally valid — trajectory than sequential runs, because candidates
+	// draw different stream indices and the virtual clock advances once per
+	// batch. Requires a space implementing sim.RankedSampler (LocalSpace):
+	// backends that pin live points to a bounded worker pool (mw.Space)
+	// cannot host the prefetch and are rejected before any sampling.
+	Speculative bool
+
+	// AdaptiveSamples enables variance-adaptive resampling of fresh points:
+	// instead of the fixed InitialSample allotment, every new point samples
+	// in geometrically growing rounds until its confidence half-width
+	// (AdaptiveZ * sigma, Welford-estimated when the backend reports
+	// estimated sigmas) falls to AdaptiveHalfWidth. The driver remembers the
+	// largest allotment a point needed (the adaptive floor, persisted in
+	// snapshots) and starts subsequent points there, so the growth is paid
+	// once, not per point.
+	AdaptiveSamples bool
+	// AdaptiveHalfWidth is the target confidence half-width of a fresh
+	// point's estimate. Required (positive) when AdaptiveSamples is set.
+	AdaptiveHalfWidth float64
+	// AdaptiveZ is the confidence multiplier of the half-width gate. Zero
+	// selects 1.96 (a 95% normal interval).
+	AdaptiveZ float64
+	// AdaptiveMaxRounds caps the growth rounds per fresh-point batch. Zero
+	// selects MaxWaitRounds.
+	AdaptiveMaxRounds int
+
 	// InitialSample is the virtual sampling time given to each new vertex.
 	InitialSample float64
 	// Resample is the additional sampling time per wait/resample round.
@@ -320,6 +356,15 @@ func (c *Config) validate(dim int) error {
 	if c.MaxWaitRounds <= 0 {
 		return errors.New("core: Config.MaxWaitRounds must be positive")
 	}
+	if c.AdaptiveSamples && c.AdaptiveHalfWidth <= 0 {
+		return errors.New("core: Config.AdaptiveHalfWidth must be positive when AdaptiveSamples is set")
+	}
+	if c.AdaptiveZ < 0 {
+		return errors.New("core: Config.AdaptiveZ must be non-negative")
+	}
+	if c.AdaptiveMaxRounds < 0 {
+		return errors.New("core: Config.AdaptiveMaxRounds must be non-negative")
+	}
 	if dim < 1 {
 		return errors.New("core: dimension must be >= 1")
 	}
@@ -379,6 +424,15 @@ type Result struct {
 	WaitRounds int
 	// ResampleRounds is the total PC resample rounds.
 	ResampleRounds int
+	// AdaptiveRounds is the total variance-adaptive growth rounds spent
+	// bringing fresh points to the configured confidence half-width (zero
+	// unless Config.AdaptiveSamples is set).
+	AdaptiveRounds int
+	// SpeculativeWaste counts speculative candidate evaluations that were
+	// discarded unused (zero unless Config.Speculative is set) — the
+	// sampling cost paid for collapsing a step's sequential round-trips
+	// into one batch.
+	SpeculativeWaste int
 	// ForcedDecisions counts decisions forced after MaxWaitRounds.
 	ForcedDecisions int
 	// FinalSpread is max_i |g_i - g_min| at termination.

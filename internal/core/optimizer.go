@@ -46,15 +46,19 @@ func OptimizeContext(ctx context.Context, space sim.Space, initial [][]float64, 
 			return nil, fmt.Errorf("core: Config.Checkpoint set but space %T does not implement sim.Snapshotter", space)
 		}
 	}
+	if err := checkSpeculative(space, cfg); err != nil {
+		return nil, err
+	}
 	o := &optimizer{space: space, cfg: cfg, d: d, clock: space.Clock(), ctx: ctx}
 	o.start = o.clock.Now()
+	o.adaptiveFloor = cfg.InitialSample
 	o.verts = make([]sim.Point, d+1)
 	for i, v := range initial {
 		o.verts[i] = space.NewPoint(v)
 	}
 	// All initial vertices sample concurrently: the MW deployment keeps one
 	// worker per vertex busy from the start (section 3.1).
-	if err := o.sampleAll(o.verts, cfg.InitialSample); err != nil && o.term == "" {
+	if err := o.sampleFresh(o.verts, nil); err != nil && o.term == "" {
 		o.finish()
 		return nil, err
 	}
@@ -73,6 +77,14 @@ type optimizer struct {
 	trials   []sim.Point // live trial points (reflection/expansion/contraction)
 	level    int         // contraction level l (section 2.2)
 	lastMove Move        // transformation applied in the latest iteration
+
+	// adaptiveFloor is the current initial-sampling allotment for fresh
+	// points under Config.AdaptiveSamples: it starts at InitialSample and is
+	// raised to the largest total sampling time a fresh point needed to meet
+	// the confidence half-width, so later points receive the learned
+	// allotment up front instead of re-growing from the floor. It is part
+	// of the snapshot state (Snapshot.AdaptiveFloor).
+	adaptiveFloor float64
 
 	res  Result
 	term string
@@ -132,6 +144,53 @@ func (o *optimizer) sampleAll(points []sim.Point, dt float64) error {
 		o.term = "canceled"
 	}
 	return err
+}
+
+// sampleFresh gives a batch of freshly created points their initial
+// allotment: the fixed InitialSample, or — under Config.AdaptiveSamples —
+// variance-adaptive growth from the current adaptive floor until every point
+// meets the confidence half-width. rank, when non-nil, orders the dispatch of
+// the first batch (the speculative step ranks candidates by how likely they
+// are to be consumed).
+func (o *optimizer) sampleFresh(points []sim.Point, rank func(i int) int) error {
+	if !o.cfg.AdaptiveSamples {
+		err := sim.SampleBatchRanked(o.ctx, o.space, points, o.cfg.InitialSample, rank)
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			o.term = "canceled"
+		}
+		return err
+	}
+	maxRounds := o.cfg.AdaptiveMaxRounds
+	if maxRounds <= 0 {
+		maxRounds = o.cfg.MaxWaitRounds
+	}
+	plan := sim.AdaptivePlan{
+		HalfWidth: o.cfg.AdaptiveHalfWidth,
+		Z:         o.cfg.AdaptiveZ,
+		Grow:      o.cfg.ResampleGrowth,
+		MaxRounds: maxRounds,
+		Clamp:     o.clampDt,
+	}
+	dt0 := o.clampDt(o.adaptiveFloor)
+	if dt0 <= 0 {
+		dt0 = o.cfg.InitialSample // budget exhausted: minimal allotment, termination will fire
+	}
+	rounds, err := sim.SampleAdaptive(o.ctx, o.space, points, dt0, plan, rank)
+	o.res.AdaptiveRounds += rounds
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			o.term = "canceled"
+		}
+		return err
+	}
+	// Raise the floor to the largest total allotment a resolved point
+	// needed, so the next fresh batch starts there instead of re-growing.
+	for _, p := range points {
+		if t := p.Estimate().Time; t > o.adaptiveFloor {
+			o.adaptiveFloor = t
+		}
+	}
+	return nil
 }
 
 func (o *optimizer) stepOverhead() {
@@ -281,12 +340,12 @@ func contractPoint(xmax, cent []float64) []float64 {
 	return affine(xmax, cent, 0.5)
 }
 
-// newSampled creates a point and gives it the initial sampling allotment.
-// On a sampling error the point is already closed; the caller just abandons
-// the iteration.
+// newSampled creates a point and gives it the initial sampling allotment
+// (adaptive when configured). On a sampling error the point is already
+// closed; the caller just abandons the iteration.
 func (o *optimizer) newSampled(x []float64) (sim.Point, error) {
 	p := o.space.NewPoint(x)
-	if err := o.sampleAll([]sim.Point{p}, o.cfg.InitialSample); err != nil {
+	if err := o.sampleFresh([]sim.Point{p}, nil); err != nil {
 		p.Close()
 		return nil, err
 	}
@@ -316,10 +375,27 @@ func (o *optimizer) collapse(imin int) error {
 		o.verts[i] = p
 		fresh = append(fresh, p)
 	}
-	err := o.sampleAll(fresh, o.cfg.InitialSample)
+	err := o.sampleFresh(fresh, nil)
 	o.level += o.d
 	o.res.Moves.Collapses++
 	return err
+}
+
+// collapseWith performs the collapse with pre-created, pre-sampled shrink
+// points (the speculative step evaluates them inside the candidate batch):
+// the vertices are swapped in with no further sampling round.
+func (o *optimizer) collapseWith(imin int, shrink []sim.Point) {
+	k := 0
+	for i := range o.verts {
+		if i == imin {
+			continue
+		}
+		o.verts[i].Close()
+		o.verts[i] = shrink[k]
+		k++
+	}
+	o.level += o.d
+	o.res.Moves.Collapses++
 }
 
 func (o *optimizer) emitTrace() {

@@ -240,6 +240,8 @@ func accumulate(total, leg *Result) {
 	total.WaitRounds += leg.WaitRounds
 	total.ResampleRounds += leg.ResampleRounds
 	total.ForcedDecisions += leg.ForcedDecisions
+	total.AdaptiveRounds += leg.AdaptiveRounds
+	total.SpeculativeWaste += leg.SpeculativeWaste
 	total.Moves.Reflections += leg.Moves.Reflections
 	total.Moves.Expansions += leg.Moves.Expansions
 	total.Moves.Contractions += leg.Moves.Contractions

@@ -43,6 +43,18 @@ type Snapshot struct {
 	WaitRounds      int       `json:"wait_rounds"`
 	ResampleRounds  int       `json:"resample_rounds"`
 	ForcedDecisions int       `json:"forced_decisions"`
+	// AdaptiveFloor and AdaptiveRounds are the variance-adaptive sampling
+	// state: the learned initial allotment for fresh points and the growth
+	// rounds spent so far. Recording them matters especially for snapshots
+	// taken mid-restart-leg — without them a resumed run would re-grow the
+	// allotment from Config.InitialSample and diverge from the
+	// uninterrupted run. Zero AdaptiveFloor (a pre-adaptive snapshot) means
+	// "start from Config.InitialSample".
+	AdaptiveFloor  float64 `json:"adaptive_floor,omitempty"`
+	AdaptiveRounds int     `json:"adaptive_rounds,omitempty"`
+	// SpeculativeWaste is the count of discarded speculative candidate
+	// evaluations accumulated so far.
+	SpeculativeWaste int `json:"speculative_waste,omitempty"`
 	// Space is the sampling backend's serializable state.
 	Space sim.SpaceState `json:"space"`
 	// Verts holds the d+1 vertex states in simplex order.
@@ -81,18 +93,21 @@ func (o *optimizer) snapshot() (*Snapshot, error) {
 		return nil, fmt.Errorf("core: space %T does not support snapshots", o.space)
 	}
 	s := &Snapshot{
-		Version:         SnapshotVersion,
-		Dim:             o.d,
-		Iterations:      o.res.Iterations,
-		Level:           o.level,
-		LastMove:        o.lastMove,
-		Start:           o.start,
-		Moves:           o.res.Moves,
-		WaitRounds:      o.res.WaitRounds,
-		ResampleRounds:  o.res.ResampleRounds,
-		ForcedDecisions: o.res.ForcedDecisions,
-		Space:           snapper.ExportState(),
-		Verts:           make([]sim.PointState, len(o.verts)),
+		Version:          SnapshotVersion,
+		Dim:              o.d,
+		Iterations:       o.res.Iterations,
+		Level:            o.level,
+		LastMove:         o.lastMove,
+		Start:            o.start,
+		Moves:            o.res.Moves,
+		WaitRounds:       o.res.WaitRounds,
+		ResampleRounds:   o.res.ResampleRounds,
+		ForcedDecisions:  o.res.ForcedDecisions,
+		AdaptiveFloor:    o.adaptiveFloor,
+		AdaptiveRounds:   o.res.AdaptiveRounds,
+		SpeculativeWaste: o.res.SpeculativeWaste,
+		Space:            snapper.ExportState(),
+		Verts:            make([]sim.PointState, len(o.verts)),
 	}
 	for i, v := range o.verts {
 		ps, err := snapper.ExportPoint(v)
@@ -150,6 +165,9 @@ func ResumeContext(ctx context.Context, space sim.Space, snap *Snapshot, cfg Con
 	if !ok {
 		return nil, fmt.Errorf("core: space %T does not support snapshots", space)
 	}
+	if err := checkSpeculative(space, cfg); err != nil {
+		return nil, err
+	}
 	if err := snapper.RestoreState(snap.Space); err != nil {
 		return nil, err
 	}
@@ -165,6 +183,14 @@ func ResumeContext(ctx context.Context, space sim.Space, snap *Snapshot, cfg Con
 	o.res.WaitRounds = snap.WaitRounds
 	o.res.ResampleRounds = snap.ResampleRounds
 	o.res.ForcedDecisions = snap.ForcedDecisions
+	o.res.AdaptiveRounds = snap.AdaptiveRounds
+	o.res.SpeculativeWaste = snap.SpeculativeWaste
+	// Pre-adaptive snapshots (AdaptiveFloor zero) start from the config
+	// floor, exactly as a fresh run would.
+	o.adaptiveFloor = snap.AdaptiveFloor
+	if o.adaptiveFloor <= 0 {
+		o.adaptiveFloor = cfg.InitialSample
+	}
 	o.verts = make([]sim.Point, len(snap.Verts))
 	for i, ps := range snap.Verts {
 		p, err := snapper.RestorePoint(ps)

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file implements speculative batched candidate evaluation, the batch
+// analogue of parallel SPSA / parallel knowledge-gradient batch proposals:
+// instead of evaluating the simplex's candidate moves one round-trip at a
+// time (reflection, then maybe expansion, then maybe contraction, then maybe
+// the shrink vertices), a speculative step submits every candidate as ONE
+// prioritized sampling batch before the decision, selects the accepted move
+// from the landed results, and discards the rest. The candidateSet below is
+// the shared bookkeeping: the sequential path uses it in lazy mode (points
+// created on demand, bitwise identical to the pre-speculation driver), the
+// speculative path prefetches.
+//
+// Determinism: candidate points are created in a fixed order (reflection,
+// expansion, contraction, shrink vertices), so their noise-stream indices —
+// and therefore every value they ever observe — are a pure function of the
+// decision history, never of worker timing. Discarding a candidate closes
+// its point; the stream indices it consumed stay consumed, which is exactly
+// what the space's NextStream snapshot counter records for resume.
+
+// checkSpeculative gates Config.Speculative on the backend's batch capacity:
+// the candidate prefetch keeps up to d+4 (with shrink, 2d+4) points live at
+// once, which deadlocks backends that pin every live point to a bounded
+// worker rank (mw.Space blocks in NewPoint once its d+3 ranks are taken).
+// sim.RankedSampler is the marker of a backend built for prioritized
+// wide batches (LocalSpace); anything else gets a descriptive error instead
+// of a hang.
+func checkSpeculative(space sim.Space, cfg Config) error {
+	if !cfg.Speculative {
+		return nil
+	}
+	if _, ok := space.(sim.RankedSampler); !ok {
+		return fmt.Errorf("core: Config.Speculative requires a space implementing sim.RankedSampler (unbounded live points); %T pins points to a bounded worker pool and would deadlock", space)
+	}
+	return nil
+}
+
+// Dispatch ranks of the speculative batch: when the worker pool is narrower
+// than the batch, the candidates most likely to be consumed start first.
+const (
+	rankReflect = iota
+	rankExpand
+	rankContract
+	rankShrink
+)
+
+// candidateSet owns the candidate moves of one simplex step: the reflection,
+// expansion and contraction trial points plus (speculatively) the shrink
+// vertices of a collapse. Exactly one of the candidates ends up claimed as a
+// vertex; discard closes the rest.
+type candidateSet struct {
+	o          *optimizer
+	imax, imin int
+	cent       []float64
+
+	ref, exp, con sim.Point
+	shrink        []sim.Point
+	claimed       map[sim.Point]bool
+	speculated    bool
+}
+
+// newCandidates builds the step's candidate set. In speculative mode every
+// candidate is created (fixed order: reflection, expansion, contraction,
+// then shrink vertices when a collapse is plausible) and sampled as one
+// ranked batch; otherwise the set starts empty and candidates are created on
+// demand, reproducing the sequential driver exactly.
+func (o *optimizer) newCandidates(imax, imin int, cent []float64) (*candidateSet, error) {
+	cs := &candidateSet{o: o, imax: imax, imin: imin, cent: cent, claimed: make(map[sim.Point]bool)}
+	if !o.cfg.Speculative {
+		return cs, nil
+	}
+	xmax := o.verts[imax].X()
+	xref := reflectPoint(cent, xmax)
+	cs.ref = o.space.NewPoint(xref)
+	cs.exp = o.space.NewPoint(expandPoint(xref, cent))
+	cs.con = o.space.NewPoint(contractPoint(xmax, cent))
+	batch := []sim.Point{cs.ref, cs.exp, cs.con}
+	ranks := []int{rankReflect, rankExpand, rankContract}
+	if o.shrinkPlausible() {
+		xmin := o.verts[imin].X()
+		for i, v := range o.verts {
+			if i == imin {
+				continue
+			}
+			p := o.space.NewPoint(affine(v.X(), xmin, 0.5))
+			cs.shrink = append(cs.shrink, p)
+			batch = append(batch, p)
+			ranks = append(ranks, rankShrink)
+		}
+	}
+	cs.speculated = true
+	if err := o.sampleFresh(batch, func(i int) int { return ranks[i] }); err != nil {
+		for _, p := range batch {
+			p.Close()
+		}
+		return nil, err
+	}
+	o.trials = cs.live()
+	return cs, nil
+}
+
+// shrinkPlausible reports whether the speculative batch should include the
+// shrink vertices: collapses cluster in the contraction phase of the search,
+// so they are prefetched only while the simplex is contracting.
+func (o *optimizer) shrinkPlausible() bool {
+	return o.lastMove == MoveContract || o.lastMove == MoveCollapse
+}
+
+// reflection returns the reflection candidate, creating and sampling it now
+// if it was not prefetched.
+func (cs *candidateSet) reflection() (sim.Point, error) {
+	if cs.ref == nil {
+		p, err := cs.o.newSampled(reflectPoint(cs.cent, cs.o.verts[cs.imax].X()))
+		if err != nil {
+			return nil, err
+		}
+		cs.ref = p
+		cs.o.trials = cs.live()
+	}
+	return cs.ref, nil
+}
+
+// expansion returns the expansion candidate, creating it from the actual
+// reflection position if it was not prefetched (the prefetch computes the
+// same coordinates from the predicted reflection, bit for bit).
+func (cs *candidateSet) expansion() (sim.Point, error) {
+	if cs.exp == nil {
+		p, err := cs.o.newSampled(expandPoint(cs.ref.X(), cs.cent))
+		if err != nil {
+			return nil, err
+		}
+		cs.exp = p
+		cs.o.trials = cs.live()
+	}
+	return cs.exp, nil
+}
+
+// contraction returns the contraction candidate, creating it now if it was
+// not prefetched.
+func (cs *candidateSet) contraction() (sim.Point, error) {
+	if cs.con == nil {
+		p, err := cs.o.newSampled(contractPoint(cs.o.verts[cs.imax].X(), cs.cent))
+		if err != nil {
+			return nil, err
+		}
+		cs.con = p
+		cs.o.trials = cs.live()
+	}
+	return cs.con, nil
+}
+
+// claim marks a candidate as consumed (it is being installed as a vertex),
+// excluding it from discard.
+func (cs *candidateSet) claim(p sim.Point) sim.Point {
+	cs.claimed[p] = true
+	return p
+}
+
+// dropExpansion closes the expansion candidate early: the step has committed
+// to the contraction ladder, so the expansion is certainly unneeded and must
+// stop accruing sampling.
+func (cs *candidateSet) dropExpansion() {
+	if cs.exp != nil {
+		cs.discardPoint(cs.exp)
+		cs.exp = nil
+		cs.o.trials = cs.live()
+	}
+}
+
+// dropContraction closes the contraction candidate and any speculative
+// shrink vertices early: the step has committed to the expansion ladder, so
+// neither can be consumed.
+func (cs *candidateSet) dropContraction() {
+	changed := false
+	if cs.con != nil {
+		cs.discardPoint(cs.con)
+		cs.con = nil
+		changed = true
+	}
+	if cs.shrink != nil {
+		for _, p := range cs.shrink {
+			cs.discardPoint(p)
+		}
+		cs.shrink = nil
+		changed = true
+	}
+	if changed {
+		cs.o.trials = cs.live()
+	}
+}
+
+// collapse performs the step's collapse move: with prefetched shrink
+// vertices they are installed directly (their sampling landed in the
+// candidate batch), otherwise the sequential collapse creates and samples
+// them now. The unconsumed trial candidates are released FIRST: on backends
+// where a live point holds a worker assignment (mw.Space), the collapse's
+// fresh vertices need those slots — closing after would deadlock NewPoint.
+func (cs *candidateSet) collapse() error {
+	for _, p := range []sim.Point{cs.ref, cs.exp, cs.con} {
+		if p != nil && !cs.claimed[p] {
+			cs.discardPoint(p)
+		}
+	}
+	cs.ref, cs.exp, cs.con = nil, nil, nil
+	cs.o.trials = cs.live()
+	if cs.shrink != nil {
+		for _, p := range cs.shrink {
+			cs.claimed[p] = true
+		}
+		cs.o.collapseWith(cs.imin, cs.shrink)
+		cs.shrink = nil
+		return nil
+	}
+	return cs.o.collapse(cs.imin)
+}
+
+// live lists the candidate points still under consideration — the step's
+// trial set for ScopeActive resampling, in the fixed candidate order.
+func (cs *candidateSet) live() []sim.Point {
+	var out []sim.Point
+	for _, p := range []sim.Point{cs.ref, cs.exp, cs.con} {
+		if p != nil && !cs.claimed[p] {
+			out = append(out, p)
+		}
+	}
+	for _, p := range cs.shrink {
+		if !cs.claimed[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// discardPoint closes one unconsumed candidate, accounting it as speculative
+// waste when it was prefetched.
+func (cs *candidateSet) discardPoint(p sim.Point) {
+	p.Close()
+	if cs.speculated {
+		cs.o.res.SpeculativeWaste++
+	}
+}
+
+// discard closes every live unclaimed candidate and clears the trial set.
+// It is deferred by the step functions, so error paths and decision paths
+// release candidates uniformly.
+func (cs *candidateSet) discard() {
+	for _, p := range cs.live() {
+		cs.discardPoint(p)
+	}
+	cs.ref, cs.exp, cs.con, cs.shrink = nil, nil, nil, nil
+	cs.o.trials = nil
+}

@@ -137,7 +137,9 @@ func (o *optimizer) waitConditionHolds(policy waitPolicy) bool {
 // stepNM performs one iteration of the Nelder-Mead skeleton shared by
 // Algorithms 1 and 2 (and the AndersonNM variant): reflection, then
 // expansion / reflection-accept / contraction / collapse, deciding on the
-// plain running means. The wait policy runs first.
+// plain running means. The wait policy runs first. The candidates are
+// evaluated sequentially on demand, or — under Config.Speculative — as one
+// prefetched batch before the decision.
 func (o *optimizer) stepNM(policy waitPolicy) error {
 	if err := o.waitLoop(policy); err != nil {
 		return err
@@ -145,11 +147,16 @@ func (o *optimizer) stepNM(policy waitPolicy) error {
 
 	imax, _, imin := o.order()
 	cent := o.centroid(imax)
-	xmax := o.verts[imax].X()
 	gmax := o.verts[imax].Estimate().Mean
 	gmin := o.verts[imin].Estimate().Mean
 
-	ref, err := o.newSampled(reflectPoint(cent, xmax))
+	cs, err := o.newCandidates(imax, imin, cent)
+	if err != nil {
+		return err
+	}
+	defer cs.discard()
+
+	ref, err := cs.reflection()
 	if err != nil {
 		return err
 	}
@@ -157,45 +164,38 @@ func (o *optimizer) stepNM(policy waitPolicy) error {
 
 	switch {
 	case gref < gmin:
-		exp, err := o.newSampled(expandPoint(ref.X(), cent))
+		exp, err := cs.expansion()
 		if err != nil {
-			ref.Close()
 			return err
 		}
 		if exp.Estimate().Mean < gref {
-			o.replace(imax, exp)
-			ref.Close()
+			o.replace(imax, cs.claim(exp))
 			o.level--
 			o.lastMove = MoveExpand
 			o.res.Moves.Expansions++
 		} else {
-			o.replace(imax, ref)
-			exp.Close()
+			o.replace(imax, cs.claim(ref))
 			o.lastMove = MoveReflect
 			o.res.Moves.Reflections++
 		}
 	case gref < gmax:
 		// The paper's Algorithm 1 accepts any reflection that improves on
 		// the worst vertex (line 12), unlike the textbook smax band.
-		o.replace(imax, ref)
+		o.replace(imax, cs.claim(ref))
 		o.lastMove = MoveReflect
 		o.res.Moves.Reflections++
 	default:
-		con, err := o.newSampled(contractPoint(xmax, cent))
+		con, err := cs.contraction()
 		if err != nil {
-			ref.Close()
 			return err
 		}
 		if con.Estimate().Mean < gmax {
-			o.replace(imax, con)
-			ref.Close()
+			o.replace(imax, cs.claim(con))
 			o.level++
 			o.lastMove = MoveContract
 			o.res.Moves.Contractions++
 		} else {
-			ref.Close()
-			con.Close()
-			if err := o.collapse(imin); err != nil {
+			if err := cs.collapse(); err != nil {
 				return err
 			}
 			o.lastMove = MoveCollapse
@@ -265,7 +265,10 @@ func (o *optimizer) resample(a, b sim.Point, dt *float64, dec *decisionClock) (b
 // stepPC performs one iteration of the point-to-point comparison algorithm
 // (Algorithm 3), optionally preceded by the max-noise wait loop (Algorithm 4,
 // PC+MN). The seven numbered conditions follow the paper's pseudocode; see
-// the package comment for the c5 symmetry note.
+// the package comment for the c5 symmetry note. Under Config.Speculative the
+// expansion and contraction candidates are prefetched in the reflection's
+// batch and accrue sampling with the other active points until the ladder
+// commits to a branch and drops them.
 func (o *optimizer) stepPC(withMaxNoise bool) error {
 	if withMaxNoise {
 		if err := o.waitLoop(waitMaxNoise); err != nil {
@@ -279,12 +282,16 @@ func (o *optimizer) stepPC(withMaxNoise bool) error {
 	smax := o.verts[ismax]
 	min := o.verts[imin]
 
-	ref, err := o.newSampled(reflectPoint(cent, max.X()))
+	cs, err := o.newCandidates(imax, imin, cent)
 	if err != nil {
 		return err
 	}
-	o.trials = []sim.Point{ref}
-	defer func() { o.trials = nil }()
+	defer cs.discard()
+
+	ref, err := cs.reflection()
+	if err != nil {
+		return err
+	}
 
 	dt := o.cfg.Resample
 	dec := o.newDecision()
@@ -294,82 +301,77 @@ func (o *optimizer) stepPC(withMaxNoise bool) error {
 			if o.confidentlyGEq(ref, min, 2) {
 				// Condition 2: ref is confidently above the best vertex;
 				// plain reflection, no expansion attempt.
-				o.replace(imax, ref)
+				o.replace(imax, cs.claim(ref))
 				o.lastMove = MoveReflect
 				o.res.Moves.Reflections++
 				return nil
 			}
-			return o.pcExpansion(imax, ref, cent)
+			return o.pcExpansion(cs, ref)
 		case o.confidentlyGEq(ref, smax, 5): // condition 5: reflection fails
-			return o.pcContraction(imax, imin, ref, max, cent)
+			return o.pcContraction(cs, ref, max)
 		default:
 			// Indeterminate band between c1 and c5: resample "until
 			// condition 1 or 5 is satisfied" (all active points accrue).
 			ok, err := o.resample(ref, smax, &dt, dec)
 			if err != nil {
-				ref.Close()
 				return err
 			}
 			if !ok {
 				// Forced decision on means.
 				if ref.Estimate().Mean < smax.Estimate().Mean {
 					if ref.Estimate().Mean >= min.Estimate().Mean {
-						o.replace(imax, ref)
+						o.replace(imax, cs.claim(ref))
 						o.lastMove = MoveReflect
 						o.res.Moves.Reflections++
 						return nil
 					}
-					return o.pcExpansion(imax, ref, cent)
+					return o.pcExpansion(cs, ref)
 				}
-				return o.pcContraction(imax, imin, ref, max, cent)
+				return o.pcContraction(cs, ref, max)
 			}
 		}
 	}
 }
 
 // pcExpansion handles conditions 3 and 4: the reflected point may be a new
-// best, so the expansion point is evaluated and compared against it.
-func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
-	exp, err := o.newSampled(expandPoint(ref.X(), cent))
+// best, so the expansion point is evaluated and compared against it. The
+// contraction candidate (and any speculative shrink vertices) can no longer
+// be consumed and are dropped.
+func (o *optimizer) pcExpansion(cs *candidateSet, ref sim.Point) error {
+	exp, err := cs.expansion()
 	if err != nil {
-		ref.Close()
 		return err
 	}
-	o.trials = []sim.Point{ref, exp}
+	cs.dropContraction()
+	imax := cs.imax
 	dt := o.cfg.Resample
 	dec := o.newDecision()
 	for {
 		switch {
 		case o.confidently(exp, ref, 3): // condition 3: expansion wins
-			o.replace(imax, exp)
-			ref.Close()
+			o.replace(imax, cs.claim(exp))
 			o.level--
 			o.lastMove = MoveExpand
 			o.res.Moves.Expansions++
 			return nil
 		case o.confidentlyGEq(exp, ref, 4): // condition 4: keep reflection
-			o.replace(imax, ref)
-			exp.Close()
+			o.replace(imax, cs.claim(ref))
 			o.lastMove = MoveReflect
 			o.res.Moves.Reflections++
 			return nil
 		default:
 			ok, err := o.resample(exp, ref, &dt, dec)
 			if err != nil {
-				ref.Close()
-				exp.Close()
 				return err
 			}
 			if !ok {
 				if exp.Estimate().Mean < ref.Estimate().Mean {
-					o.replace(imax, exp)
-					ref.Close()
+					o.replace(imax, cs.claim(exp))
 					o.level--
 					o.lastMove = MoveExpand
 					o.res.Moves.Expansions++
 				} else {
-					o.replace(imax, ref)
-					exp.Close()
+					o.replace(imax, cs.claim(ref))
 					o.lastMove = MoveReflect
 					o.res.Moves.Reflections++
 				}
@@ -382,28 +384,26 @@ func (o *optimizer) pcExpansion(imax int, ref sim.Point, cent []float64) error {
 // pcContraction handles conditions 6 and 7: reflection failed, so the
 // contraction point is evaluated against the worst vertex; if even the
 // contraction cannot beat it, the simplex collapses toward the best vertex.
-func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []float64) error {
-	con, err := o.newSampled(contractPoint(max.X(), cent))
+// The expansion candidate can no longer be consumed and is dropped.
+func (o *optimizer) pcContraction(cs *candidateSet, ref, max sim.Point) error {
+	con, err := cs.contraction()
 	if err != nil {
-		ref.Close()
 		return err
 	}
-	o.trials = []sim.Point{ref, con}
+	cs.dropExpansion()
+	imax := cs.imax
 	dt := o.cfg.Resample
 	dec := o.newDecision()
 	for {
 		switch {
 		case o.confidently(con, max, 6): // condition 6: contraction accepted
-			o.replace(imax, con)
-			ref.Close()
+			o.replace(imax, cs.claim(con))
 			o.level++
 			o.lastMove = MoveContract
 			o.res.Moves.Contractions++
 			return nil
 		case o.confidentlyGEq(con, max, 7): // condition 7: collapse
-			ref.Close()
-			con.Close()
-			if err := o.collapse(imin); err != nil {
+			if err := cs.collapse(); err != nil {
 				return err
 			}
 			o.lastMove = MoveCollapse
@@ -411,21 +411,16 @@ func (o *optimizer) pcContraction(imax, imin int, ref, max sim.Point, cent []flo
 		default:
 			ok, err := o.resample(con, max, &dt, dec)
 			if err != nil {
-				ref.Close()
-				con.Close()
 				return err
 			}
 			if !ok {
 				if con.Estimate().Mean < max.Estimate().Mean {
-					o.replace(imax, con)
-					ref.Close()
+					o.replace(imax, cs.claim(con))
 					o.level++
 					o.lastMove = MoveContract
 					o.res.Moves.Contractions++
 				} else {
-					ref.Close()
-					con.Close()
-					if err := o.collapse(imin); err != nil {
+					if err := cs.collapse(); err != nil {
 						return err
 					}
 					o.lastMove = MoveCollapse

@@ -48,6 +48,12 @@ type JobsRun struct {
 	// the "pso" and "hybrid" strategies.
 	PSOJobsPerSec    float64
 	HybridJobsPerSec float64
+	// SpecJobsPerSec is the PC batch re-run with speculative steps. Under
+	// this bench's cost model (latency per point *creation*) speculation
+	// pays its evaluation waste without collecting its batching win — the
+	// win is per sampling round-trip, measured by BENCH_sched.json's
+	// step_latency rows — so this column prices the waste at service level.
+	SpecJobsPerSec float64
 }
 
 func (r JobsRun) MarshalJSON() ([]byte, error) {
@@ -61,9 +67,10 @@ func (r JobsRun) MarshalJSON() ([]byte, error) {
 		P99Ms            float64 `json:"p99_ms"`
 		PSOJobsPerSec    float64 `json:"pso_jobs_per_sec"`
 		HybridJobsPerSec float64 `json:"hybrid_jobs_per_sec"`
+		SpecJobsPerSec   float64 `json:"spec_pc_jobs_per_sec"`
 	}
 	return json.Marshal(row{r.Concurrency, r.Jobs, r.WallSeconds, r.JobsPerSec, r.Speedup,
-		r.P50Ms, r.P99Ms, r.PSOJobsPerSec, r.HybridJobsPerSec})
+		r.P50Ms, r.P99Ms, r.PSOJobsPerSec, r.HybridJobsPerSec, r.SpecJobsPerSec})
 }
 
 // JobsBenchResult is the full study, serialized into BENCH_jobs.json.
@@ -86,7 +93,7 @@ type JobsBenchResult struct {
 // latencies, and each job's final best estimate (the determinism
 // fingerprint, seed-indexed). The swarm sizes keep the pso/hybrid sampling
 // effort in the same ballpark as iters simplex steps.
-func jobsWorkload(strategy string, concurrency, n, iters int, delay time.Duration) (float64, []time.Duration, []float64, error) {
+func jobsWorkload(strategy string, speculative bool, concurrency, n, iters int, delay time.Duration) (float64, []time.Duration, []float64, error) {
 	m, err := jobs.New(jobs.Config{
 		MaxConcurrent: concurrency,
 		Objectives: map[string]func([]float64) float64{
@@ -115,6 +122,7 @@ func jobsWorkload(strategy string, concurrency, n, iters int, delay time.Duratio
 			MaxIterations:   iters,
 			Particles:       6,
 			SwarmIterations: iters / 2,
+			Speculative:     speculative,
 		})
 		if err != nil {
 			return 0, nil, nil, err
@@ -178,16 +186,26 @@ func JobsBench(opt Options) (*JobsBenchResult, error) {
 		NumCPU:         runtime.NumCPU(),
 		Deterministic:  true,
 	}
-	baseBests := map[string][]float64{} // strategy -> concurrency=1 fingerprints
+	workloads := []struct {
+		key         string
+		strategy    string
+		speculative bool
+	}{
+		{"pc", "pc", false},
+		{"pso", "pso", false},
+		{"hybrid", "hybrid", false},
+		{"spec-pc", "pc", true},
+	}
+	baseBests := map[string][]float64{} // workload key -> concurrency=1 fingerprints
 	for _, c := range []int{1, 2, 4, 8, 16} {
 		row := JobsRun{Concurrency: c, Jobs: n}
-		for _, strategy := range []string{"pc", "pso", "hybrid"} {
-			wall, lats, bests, err := jobsWorkload(strategy, c, n, iters, delay)
+		for _, w := range workloads {
+			wall, lats, bests, err := jobsWorkload(w.strategy, w.speculative, c, n, iters, delay)
 			if err != nil {
 				return nil, err
 			}
-			if base, ok := baseBests[strategy]; !ok {
-				baseBests[strategy] = bests
+			if base, ok := baseBests[w.key]; !ok {
+				baseBests[w.key] = bests
 			} else {
 				for i := range bests {
 					if bests[i] != base[i] {
@@ -195,7 +213,7 @@ func JobsBench(opt Options) (*JobsBenchResult, error) {
 					}
 				}
 			}
-			switch strategy {
+			switch w.key {
 			case "pc":
 				row.WallSeconds = wall
 				row.JobsPerSec = float64(n) / wall
@@ -205,6 +223,8 @@ func JobsBench(opt Options) (*JobsBenchResult, error) {
 				row.PSOJobsPerSec = float64(n) / wall
 			case "hybrid":
 				row.HybridJobsPerSec = float64(n) / wall
+			case "spec-pc":
+				row.SpecJobsPerSec = float64(n) / wall
 			}
 		}
 		res.Runs = append(res.Runs, row)
@@ -240,7 +260,7 @@ func BenchJobs(opt Options) (string, error) {
 
 // jobsBenchTable renders an already-computed study as a table.
 func jobsBenchTable(res *JobsBenchResult) string {
-	header := []string{"pool", "jobs", "wall (s)", "pc jobs/s", "speedup", "p50 (ms)", "p99 (ms)", "pso jobs/s", "hybrid jobs/s"}
+	header := []string{"pool", "jobs", "wall (s)", "pc jobs/s", "speedup", "p50 (ms)", "p99 (ms)", "pso jobs/s", "hybrid jobs/s", "spec-pc jobs/s"}
 	var rows [][]string
 	for _, r := range res.Runs {
 		rows = append(rows, []string{
@@ -253,12 +273,13 @@ func jobsBenchTable(res *JobsBenchResult) string {
 			fmt.Sprintf("%.1f", r.P99Ms),
 			fmt.Sprintf("%.1f", r.PSOJobsPerSec),
 			fmt.Sprintf("%.1f", r.HybridJobsPerSec),
+			fmt.Sprintf("%.1f", r.SpecJobsPerSec),
 		})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "jobs service throughput: %d jobs x %d iterations, %dus point latency, host cores=%d\n",
 		res.Runs[0].Jobs, res.JobIterations, res.PointLatencyUS, res.NumCPU)
 	b.WriteString(textplot.Table(header, rows))
-	fmt.Fprintf(&b, "bitwise-identical job results across pool widths (pc, pso and hybrid): %v\n", res.Deterministic)
+	fmt.Fprintf(&b, "bitwise-identical job results across pool widths (pc, pso, hybrid and speculative pc): %v\n", res.Deterministic)
 	return b.String()
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
 	"repro/internal/textplot"
@@ -58,6 +59,22 @@ type SchedRun struct {
 	CPUSpeedup, LatencySpeedup float64
 }
 
+// StepLatencyRun is one row of the speculative step-latency study: the mean
+// wall milliseconds one simplex step costs under the latency cost model,
+// sequential vs speculative driver, at one pool width.
+type StepLatencyRun struct {
+	// Workers is the sched pool size.
+	Workers int `json:"workers"`
+	// SeqStepMillis is the mean per-step wall time of the sequential driver
+	// (candidate moves evaluated one round-trip at a time).
+	SeqStepMillis float64 `json:"seq_step_ms"`
+	// SpecStepMillis is the mean per-step wall time of the speculative
+	// driver (every candidate in one prioritized batch).
+	SpecStepMillis float64 `json:"spec_step_ms"`
+	// Speedup is SeqStepMillis / SpecStepMillis.
+	Speedup float64 `json:"speedup"`
+}
+
 // SchedScalingResult is the full study, serialized into BENCH_sched.json.
 type SchedScalingResult struct {
 	// Batch is the points per SampleAll (d+3 with d=13, the paper's shape).
@@ -70,6 +87,14 @@ type SchedScalingResult struct {
 	// identical estimates.
 	Deterministic bool       `json:"deterministic"`
 	Runs          []SchedRun `json:"runs"`
+	// StepIters is the number of simplex steps timed per step-latency row.
+	StepIters int `json:"step_iters"`
+	// StepLatency compares sequential vs speculative per-step latency under
+	// the latency cost model (one row per pool width).
+	StepLatency []StepLatencyRun `json:"step_latency"`
+	// SpecDeterministic reports whether the speculative runs produced
+	// bitwise identical results at every pool width.
+	SpecDeterministic bool `json:"spec_deterministic"`
 }
 
 func (r SchedRun) MarshalJSON() ([]byte, error) {
@@ -113,6 +138,41 @@ func schedWorkload(workers, batch, rounds int, cost func([]float64, float64)) (f
 	return elapsed, means
 }
 
+// stepLatencyWorkload runs a short DET simplex optimization (decisions on
+// plain means — per-step cost is dominated by the candidate round-trips, the
+// quantity speculation attacks) on an expensive latency-model objective and
+// returns the mean wall seconds per simplex step plus the run result (the
+// determinism fingerprint).
+func stepLatencyWorkload(workers int, speculative bool, iters int, lat time.Duration) (float64, *core.Result) {
+	s := sim.NewLocalSpace(sim.LocalConfig{
+		Dim:        3,
+		F:          testfunc.Rosenbrock,
+		Sigma0:     sim.ConstSigma(5),
+		Seed:       2,
+		Parallel:   true,
+		Workers:    workers,
+		SampleCost: LatencyCost(lat),
+	})
+	defer s.Close()
+	cfg := core.DefaultConfig(core.DET)
+	cfg.Tol = 0 // run to the iteration cap: every row times the same step count
+	cfg.MaxIterations = iters
+	cfg.Speculative = speculative
+	initial := [][]float64{{-2, 1, 2}, {1.5, -1, 0.5}, {0, 2, -1}, {2, 0.5, 1}}
+	start := time.Now()
+	res, err := core.Optimize(s, initial, cfg)
+	if err != nil {
+		panic(err) // in-process space with no cancellation: must not fail
+	}
+	return time.Since(start).Seconds() / float64(iters), res
+}
+
+// stepFingerprint renders the parts of a result that must be bitwise
+// identical across pool widths.
+func stepFingerprint(res *core.Result) string {
+	return fmt.Sprintf("%x/%x/%d/%d", res.BestG, res.Walltime, res.Evaluations, res.SpeculativeWaste)
+}
+
 // SchedScaling measures SampleAll wall time against the sched worker count
 // for both cost models and checks cross-worker determinism.
 func SchedScaling(opt Options) (*SchedScalingResult, error) {
@@ -144,6 +204,33 @@ func SchedScaling(opt Options) (*SchedScalingResult, error) {
 	for i := range res.Runs {
 		res.Runs[i].CPUSpeedup = res.Runs[0].CPUSeconds / res.Runs[i].CPUSeconds
 		res.Runs[i].LatencySpeedup = res.Runs[0].LatencySeconds / res.Runs[i].LatencySeconds
+	}
+
+	// Speculative step latency: the tentpole claim behind Config.Speculative
+	// is that one prioritized candidate batch beats the sequential
+	// reflect-then-expand/contract round-trips once the pool holds the whole
+	// batch (>= 3 workers); at one worker speculation must pay, not win.
+	stepIters := 30
+	if opt.Quick {
+		stepIters = 12
+	}
+	res.StepIters = stepIters
+	res.SpecDeterministic = true
+	var seqFP, specFP string
+	for _, workers := range []int{1, 4, 8} {
+		seqSec, seqRes := stepLatencyWorkload(workers, false, stepIters, lat)
+		specSec, specRes := stepLatencyWorkload(workers, true, stepIters, lat)
+		if seqFP == "" {
+			seqFP, specFP = stepFingerprint(seqRes), stepFingerprint(specRes)
+		} else if stepFingerprint(seqRes) != seqFP || stepFingerprint(specRes) != specFP {
+			res.SpecDeterministic = false
+		}
+		res.StepLatency = append(res.StepLatency, StepLatencyRun{
+			Workers:        workers,
+			SeqStepMillis:  seqSec * 1e3,
+			SpecStepMillis: specSec * 1e3,
+			Speedup:        seqSec / specSec,
+		})
 	}
 	return res, nil
 }
@@ -179,5 +266,19 @@ func BenchSched(opt Options) (string, error) {
 		res.Batch, res.Rounds, res.NumCPU)
 	b.WriteString(textplot.Table(header, rows))
 	fmt.Fprintf(&b, "bitwise-identical estimates across worker counts: %v\n", res.Deterministic)
+
+	fmt.Fprintf(&b, "\nspeculative step latency: DET x%d steps, latency cost model\n", res.StepIters)
+	stepHeader := []string{"workers", "seq step (ms)", "spec step (ms)", "spec speedup"}
+	var stepRows [][]string
+	for _, r := range res.StepLatency {
+		stepRows = append(stepRows, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.3f", r.SeqStepMillis),
+			fmt.Sprintf("%.3f", r.SpecStepMillis),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	b.WriteString(textplot.Table(stepHeader, stepRows))
+	fmt.Fprintf(&b, "bitwise-identical speculative results across worker counts: %v\n", res.SpecDeterministic)
 	return b.String(), nil
 }

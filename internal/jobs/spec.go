@@ -63,6 +63,16 @@ type Spec struct {
 	// Workers gives the job's space a private worker pool of that size
 	// instead of the manager's shared fleet. Leave zero for the fleet.
 	Workers int `json:"workers,omitempty"`
+	// Speculative enables batch-speculative candidate evaluation for
+	// NM-family strategies: every candidate move of a simplex step is
+	// submitted as one prioritized sampling batch before the decision. Runs
+	// stay bitwise-deterministic and checkpoint/resume-exact.
+	Speculative bool `json:"speculative,omitempty"`
+	// AdaptiveHalfWidth, when positive, enables variance-adaptive
+	// resampling: fresh points sample in growing rounds until their
+	// confidence half-width (1.96 sigma) falls to this target, replacing
+	// the fixed initial allotment.
+	AdaptiveHalfWidth float64 `json:"adaptive_half_width,omitempty"`
 	// Particles is the swarm size for the "pso" and "hybrid" strategies.
 	// Zero keeps the strategy default.
 	Particles int `json:"particles,omitempty"`
@@ -117,6 +127,9 @@ func (s *Spec) validate(m *Manager) error {
 	}
 	if s.Workers < 0 || s.Workers > maxWorkers {
 		return fmt.Errorf("jobs: Spec.Workers must be in 0..%d", maxWorkers)
+	}
+	if s.AdaptiveHalfWidth < 0 {
+		return errors.New("jobs: Spec.AdaptiveHalfWidth must be non-negative")
 	}
 	if s.Particles < 0 || s.Particles > maxParticles {
 		return fmt.Errorf("jobs: Spec.Particles must be in 0..%d", maxParticles)
@@ -203,6 +216,11 @@ func (spec Spec) runSpec() (core.RunSpec, error) {
 	if spec.K > 0 {
 		cfg.K = spec.K
 		cfg.MNK = spec.K
+	}
+	cfg.Speculative = spec.Speculative
+	if spec.AdaptiveHalfWidth > 0 {
+		cfg.AdaptiveSamples = true
+		cfg.AdaptiveHalfWidth = spec.AdaptiveHalfWidth
 	}
 	return core.RunSpec{
 		Strategy:     strat.Name(),

@@ -20,6 +20,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"repro/internal/stats"
 )
 
 // Accumulator tracks the sampling state of one point in parameter space.
@@ -35,10 +37,8 @@ type Accumulator struct {
 	// Statistics for estimating sigma0 from the observed increments, used
 	// when the optimizer is not told the true noise strength (the paper:
 	// "there is no expectation that this variance is known ahead of time").
-	n      int     // number of increments
-	zMean  float64 // Welford mean of normalized increments
-	zM2    float64 // Welford sum of squared deviations
-	zCount int
+	n int           // number of increments
+	z stats.Welford // online moments of the normalized increments
 }
 
 // NewAccumulator returns an accumulator for a point whose noise-free value is
@@ -63,11 +63,7 @@ func (a *Accumulator) Sample(dt float64, rng *rand.Rand) {
 
 	// Each increment's value, normalized, is an N(0, sigma0^2) draw:
 	// (dW/dt)*sqrt(dt) = sigma0 * z. Track it to estimate sigma0.
-	y := a.sigma0 * z
-	a.zCount++
-	d := y - a.zMean
-	a.zMean += d / float64(a.zCount)
-	a.zM2 += d * (y - a.zMean)
+	a.z.Add(a.sigma0 * z)
 	a.n++
 }
 
@@ -97,11 +93,10 @@ func (a *Accumulator) Sigma() float64 {
 // value, mirroring a practitioner's use of a prior guess until batch
 // statistics exist.
 func (a *Accumulator) SigmaEst() float64 {
-	if a.zCount < 2 || a.t == 0 {
+	if a.z.N() < 2 || a.t == 0 {
 		return a.Sigma()
 	}
-	s0 := math.Sqrt(a.zM2 / float64(a.zCount-1))
-	return s0 / math.Sqrt(a.t)
+	return a.z.StdDev() / math.Sqrt(a.t)
 }
 
 // Time returns the accumulated sampling time t_k.
@@ -129,7 +124,8 @@ type State struct {
 // State exports the accumulator's sampling state. It performs no RNG draws,
 // so taking a snapshot never perturbs the run being snapshotted.
 func (a *Accumulator) State() State {
-	return State{T: a.t, W: a.w, N: a.n, ZMean: a.zMean, ZM2: a.zM2, ZCount: a.zCount}
+	z := a.z.State()
+	return State{T: a.t, W: a.w, N: a.n, ZMean: z.Mean, ZM2: z.M2, ZCount: z.N}
 }
 
 // restore overwrites the accumulator's sampling state. The identity fields
@@ -137,7 +133,7 @@ func (a *Accumulator) State() State {
 // from the point's coordinates.
 func (a *Accumulator) restore(st State) {
 	a.t, a.w, a.n = st.T, st.W, st.N
-	a.zMean, a.zM2, a.zCount = st.ZMean, st.ZM2, st.ZCount
+	a.z.Restore(stats.WelfordState{N: st.ZCount, Mean: st.ZMean, M2: st.ZM2})
 }
 
 // Underlying returns the noise-free value f. It exists for harness-side

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry dispatch states.
+const (
+	entryPending int32 = iota
+	entryDispatched
+	entryCanceled
+)
+
+// Entry is one schedulable unit inside a Batch: a task plus a dispatch
+// priority and a cancellation handle. Entries exist so a caller that
+// speculatively enqueues work (the speculative simplex step enqueues every
+// candidate move before knowing which will be accepted) can (a) order the
+// dispatch so the evaluations most likely to be needed run first when the
+// pool is narrower than the batch, and (b) withdraw entries that have not
+// started yet instead of paying for them.
+type Entry struct {
+	fn    func()
+	prio  int
+	seq   int
+	state atomic.Int32
+}
+
+// Cancel withdraws the entry if it has not been dispatched yet, returning
+// whether the withdrawal won. A canceled entry's task never runs; an entry
+// that was already dispatched (or finished) is unaffected and Cancel reports
+// false. Cancel is safe to call concurrently with Wait, with one caveat: a
+// false return means the entry was dispatched at that moment, but if the
+// batch is then aborted (context cancellation, scheduler close) while the
+// entry's handoff to a worker is still pending, Wait withdraws it after all
+// — Canceled() is the authoritative post-Wait answer to "did it run".
+func (e *Entry) Cancel() bool {
+	return e.state.CompareAndSwap(entryPending, entryCanceled)
+}
+
+// Canceled reports whether the entry was withdrawn before dispatch.
+func (e *Entry) Canceled() bool { return e.state.Load() == entryCanceled }
+
+// Batch collects prioritized, cancellable entries and executes them as one
+// joined unit on the scheduler. It is single-use: Submit entries, then Wait
+// exactly once. The zero value is not usable; use Scheduler.NewBatch.
+type Batch struct {
+	s       *Scheduler
+	entries []*Entry
+	waited  bool
+}
+
+// NewBatch starts an empty batch on the scheduler.
+func (s *Scheduler) NewBatch() *Batch { return &Batch{s: s} }
+
+// Submit adds a task with the given dispatch priority (lower runs earlier)
+// and returns its cancellation handle. Entries with equal priority dispatch
+// in submission order. Submit must not be called after Wait.
+func (b *Batch) Submit(priority int, fn func()) *Entry {
+	if b.waited {
+		panic("sched: Batch.Submit after Wait")
+	}
+	e := &Entry{fn: fn, prio: priority, seq: len(b.entries)}
+	b.entries = append(b.entries, e)
+	return e
+}
+
+// Wait dispatches every live entry in priority order and blocks until all
+// dispatched tasks have finished. Entries canceled before dispatch are
+// skipped. Cancellation semantics match Scheduler.Do: if ctx ends mid-batch,
+// the remaining pending entries are withdrawn (their Canceled() reports
+// true), already-running tasks finish, and ctx.Err() is returned. A panic in
+// any task is re-raised on the calling goroutine after the batch drains.
+func (b *Batch) Wait(ctx context.Context) error {
+	if b.waited {
+		panic("sched: Batch.Wait called twice")
+	}
+	b.waited = true
+	if len(b.entries) == 0 {
+		return ctx.Err()
+	}
+	order := make([]*Entry, len(b.entries))
+	copy(order, b.entries)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].prio < order[j].prio })
+
+	s := b.s
+	if s.workers == 1 || len(order) == 1 {
+		for _, e := range order {
+			if err := ctx.Err(); err != nil {
+				cancelRemaining(order)
+				return err
+			}
+			select {
+			case <-s.quit:
+				cancelRemaining(order)
+				return ErrClosed
+			default:
+			}
+			if !e.state.CompareAndSwap(entryPending, entryDispatched) {
+				continue // canceled
+			}
+			e.fn()
+		}
+		return nil
+	}
+
+	s.start()
+	var (
+		wg  sync.WaitGroup
+		box panicBox
+		err error
+	)
+dispatch:
+	for _, e := range order {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break dispatch
+		}
+		if !e.state.CompareAndSwap(entryPending, entryDispatched) {
+			continue // canceled before dispatch
+		}
+		e := e
+		wg.Add(1)
+		wrapped := func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					box.capture(r)
+				}
+			}()
+			e.fn()
+		}
+		select {
+		case s.queue <- wrapped:
+		case <-ctx.Done():
+			// The send was abandoned: the task never reached a worker, so
+			// the entry is withdrawn, not dispatched — Canceled() must
+			// report true for it like any other unrun entry. CAS (not a
+			// blind store) so only this entry's known dispatched state is
+			// reverted.
+			e.state.CompareAndSwap(entryDispatched, entryCanceled)
+			wg.Done()
+			err = ctx.Err()
+			break dispatch
+		case <-s.quit:
+			e.state.CompareAndSwap(entryDispatched, entryCanceled)
+			wg.Done()
+			err = ErrClosed
+			break dispatch
+		}
+	}
+	if err != nil {
+		cancelRemaining(order)
+	}
+	wg.Wait()
+	box.mu.Lock()
+	val, set := box.val, box.set
+	box.mu.Unlock()
+	if set {
+		panic(val)
+	}
+	return err
+}
+
+// cancelRemaining withdraws every entry still pending, so an aborted batch
+// leaves a consistent record of what ran and what did not.
+func cancelRemaining(order []*Entry) {
+	for _, e := range order {
+		e.state.CompareAndSwap(entryPending, entryCanceled)
+	}
+}

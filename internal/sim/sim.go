@@ -270,6 +270,16 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 	if len(points) == 0 {
 		return ctx.Err()
 	}
+	lps := s.checkBatch(points)
+	if err := s.pool.DoN(ctx, len(lps), func(i int) { lps[i].sample(dt) }); err != nil {
+		return err
+	}
+	s.advanceBatch(len(points), dt)
+	return nil
+}
+
+// checkBatch asserts every point is a live localPoint of this space.
+func (s *LocalSpace) checkBatch(points []Point) []*localPoint {
 	lps := make([]*localPoint, len(points))
 	for i, p := range points {
 		lp, ok := p.(*localPoint)
@@ -281,15 +291,17 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 		}
 		lps[i] = lp
 	}
-	if err := s.pool.DoN(ctx, len(lps), func(i int) { lps[i].sample(dt) }); err != nil {
-		return err
-	}
+	return lps
+}
+
+// advanceBatch applies the virtual-clock accounting of one completed batch:
+// dt once under the parallel execution model, n*dt serially.
+func (s *LocalSpace) advanceBatch(n int, dt float64) {
 	if s.cfg.Parallel {
 		s.clock.Advance(dt)
 	} else {
-		s.clock.Advance(float64(len(points)) * dt)
+		s.clock.Advance(float64(n) * dt)
 	}
-	return nil
 }
 
 type localPoint struct {

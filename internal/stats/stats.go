@@ -182,7 +182,11 @@ func (h *Histogram) MaxCount() int {
 	return m
 }
 
-// Welford is a streaming mean/variance accumulator.
+// Welford is a streaming mean/variance accumulator. It is the online-moment
+// engine behind the noise layer's sigma estimation and the adaptive-sampling
+// confidence gate: observations fold in one at a time, and the running
+// moments are exact (no catastrophic cancellation) regardless of how the
+// stream was split into increments.
 type Welford struct {
 	n    int
 	mean float64
@@ -219,3 +223,33 @@ func (w *Welford) Variance() float64 {
 
 // StdDev returns the running standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the running mean, StdDev/sqrt(n)
+// (NaN below two observations).
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// HalfWidth returns the z-scaled confidence half-width of the running mean,
+// z * StdErr. A mean is resolved to half-width h at confidence z when
+// HalfWidth(z) <= h; the adaptive resampling gate keeps sampling until it is.
+func (w *Welford) HalfWidth(z float64) float64 { return z * w.StdErr() }
+
+// WelfordState is the serializable state of a Welford accumulator, used by
+// the noise layer's checkpoint format. The three moments round-trip exactly
+// through JSON (Go float64 encoding is lossless), preserving bitwise
+// determinism across a snapshot/restore cycle.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State exports the accumulator's moments.
+func (w *Welford) State() WelfordState { return WelfordState{N: w.n, Mean: w.mean, M2: w.m2} }
+
+// Restore overwrites the accumulator's moments from a snapshot.
+func (w *Welford) Restore(st WelfordState) { w.n, w.mean, w.m2 = st.N, st.Mean, st.M2 }

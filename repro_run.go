@@ -205,6 +205,43 @@ func WithResume(snap *Snapshot) RunOption {
 	}
 }
 
+// WithSpeculation enables batch-speculative candidate evaluation for the
+// NM-family strategies: each simplex step submits the reflection, expansion
+// and contraction candidates (plus the shrink vertices when a collapse is
+// plausible) as one prioritized sampling batch before the decision, then
+// keeps the accepted move and discards the rest. A step costs one batch
+// round-trip instead of up to four sequential ones, cutting per-step latency
+// on pools of >= 3 workers at the price of some discarded evaluations
+// (Result.SpeculativeWaste). Speculative runs are bitwise-deterministic at
+// any worker count and checkpoint/resume-exact, but follow a different —
+// equally valid — trajectory than sequential runs. The space must support
+// prioritized wide batches (LocalSpace does); backends that pin each live
+// point to a bounded worker rank, like the MW deployment, are rejected with
+// a descriptive error before any sampling.
+func WithSpeculation() RunOption {
+	return func(o *runOptions) { o.spec.Config.Speculative = true }
+}
+
+// WithAdaptiveSamples replaces the fixed initial sampling allotment of fresh
+// points with variance-adaptive growth: every new point samples in
+// geometrically growing rounds until the confidence half-width of its
+// estimate (1.96 sigma; override via WithConfig's AdaptiveZ) falls to
+// halfWidth. The driver remembers the largest allotment a point needed and
+// starts subsequent points there, a counter that is part of the snapshot
+// state, so checkpoint/resume stays bitwise-exact. It applies to the
+// NM-family strategies (and the simplex leg of the hybrid); the pso swarm
+// phase samples on its own schedule.
+func WithAdaptiveSamples(halfWidth float64) RunOption {
+	return func(o *runOptions) {
+		if halfWidth <= 0 {
+			o.errs = append(o.errs, fmt.Errorf("repro: WithAdaptiveSamples(%v): half-width must be positive", halfWidth))
+			return
+		}
+		o.spec.Config.AdaptiveSamples = true
+		o.spec.Config.AdaptiveHalfWidth = halfWidth
+	}
+}
+
 // WithTrace registers a per-iteration progress callback (one TraceEvent per
 // simplex step, or per swarm update for pso-family strategies).
 func WithTrace(fn func(TraceEvent)) RunOption {
