@@ -18,7 +18,7 @@ import (
 // checkpoints) in a test HTTP server.
 func serveManager(t *testing.T, mgr *jobs.Manager) string {
 	t.Helper()
-	ts := httptest.NewServer(newServer(mgr, 1))
+	ts := httptest.NewServer(newServer(mgr, nil, 1))
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.Close()

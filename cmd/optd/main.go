@@ -4,9 +4,17 @@
 // and (with -checkpoint-dir) persists checkpoints so a killed server resumes
 // its jobs bitwise-deterministically on restart.
 //
+// With -fleet-addr the server also opens a worker-registration listener:
+// remote optworker agents dial it, and jobs submitted with "fleet": true run
+// their sampling over that fleet — bitwise identical to in-process runs,
+// surviving worker death via deterministic re-dispatch. /healthz reports the
+// fleet's workers, capacity and queue depths.
+//
 // Example session:
 //
-//	optd -addr :8080 -checkpoint-dir /var/lib/optd &
+//	optd -addr :8080 -fleet-addr :9090 -checkpoint-dir /var/lib/optd &
+//	optworker -connect localhost:9090 -capacity 4 &
+//	optworker -connect localhost:9090 -capacity 4 &
 //	curl -s localhost:8080/healthz                 # build info, uptime, pool width, job counts
 //	curl -s localhost:8080/strategies              # what this server can run
 //	curl -s localhost:8080/v1/jobs -d '{"objective":"rosenbrock","dim":3,"algorithm":"pc","sigma0":100,"seed":7,"max_iterations":200}'
@@ -21,18 +29,22 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/jobs"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "localhost:8080", "listen address")
+		fleetAddr  = flag.String("fleet-addr", "", "remote-worker registration address (empty = no remote fleet)")
 		maxConc    = flag.Int("max-concurrent", 4, "jobs running simultaneously")
 		workers    = flag.Int("workers", 0, "shared sampling fleet size (0 = GOMAXPROCS)")
 		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
@@ -42,8 +54,20 @@ func main() {
 		traceBufSz = flag.Int("trace-buffer", 256, "per-subscriber progress event buffer")
 	)
 	flag.Parse()
-	fmt.Printf("optd starting: addr=%s seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
-		*addr, *seed, *maxConc, *workers, *ckptDir)
+	fmt.Printf("optd starting: addr=%s fleet-addr=%q seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
+		*addr, *fleetAddr, *seed, *maxConc, *workers, *ckptDir)
+
+	var fleet *dist.Coordinator
+	var fleetSampler sim.FleetSampler // typed nil must stay nil in the config
+	if *fleetAddr != "" {
+		fleet = dist.NewCoordinator(dist.Config{})
+		if err := fleet.Listen(*fleetAddr); err != nil {
+			fatal(err)
+		}
+		defer fleet.Close()
+		fleetSampler = fleet
+		fmt.Printf("fleet listening on %s (optworker -connect)\n", fleet.Addr())
+	}
 
 	mgr, err := jobs.New(jobs.Config{
 		MaxConcurrent:   *maxConc,
@@ -51,6 +75,7 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		TraceBuffer:     *traceBufSz,
+		Fleet:           fleetSampler,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,9 +92,16 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(mgr, *seed)}
+	// An explicit listener so the actual address (":0" included) can be
+	// reported — scripts and the e2e harness parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("optd listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: newServer(mgr, fleet, *seed)}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/jobs"
 )
 
@@ -31,6 +32,9 @@ import (
 // instead of the mux default.
 type server struct {
 	mgr *jobs.Manager
+	// fleet is the remote-worker coordinator when -fleet-addr is set; its
+	// status is served in /healthz. Nil without a fleet.
+	fleet *dist.Coordinator
 	// defaultSeed is applied to submitted specs that leave Seed zero, so
 	// every job is reproducible from the server log plus its spec.
 	defaultSeed int64
@@ -39,8 +43,8 @@ type server struct {
 }
 
 // newServer builds the HTTP handler.
-func newServer(mgr *jobs.Manager, defaultSeed int64) http.Handler {
-	s := &server{mgr: mgr, defaultSeed: defaultSeed, started: time.Now()}
+func newServer(mgr *jobs.Manager, fleet *dist.Coordinator, defaultSeed int64) http.Handler {
+	s := &server{mgr: mgr, fleet: fleet, defaultSeed: defaultSeed, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /strategies", s.strategies)
@@ -113,7 +117,7 @@ func buildInfo() (goVersion, revision string) {
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	goVersion, revision := buildInfo()
 	st := s.mgr.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":             true,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"go_version":     goVersion,
@@ -127,7 +131,11 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 			"failed":   st.Failed,
 			"canceled": st.Canceled,
 		},
-	})
+	}
+	if s.fleet != nil {
+		body["fleet"] = s.fleet.Status()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // strategies lists what this server can run: every strategy in the core

@@ -28,7 +28,7 @@ func startTestServer(t *testing.T, cfg jobs.Config) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(mgr, 1))
+	ts := httptest.NewServer(newServer(mgr, nil, 1))
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.Close()

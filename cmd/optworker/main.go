@@ -1,0 +1,103 @@
+// Command optworker is a remote sampling agent: it dials an optd
+// coordinator (-connect), registers its capacity, and executes dispatched
+// sampling tasks until interrupted. Agents hold no run state — every task's
+// result is a pure function of the task — so workers can be added, killed
+// and restarted at any point of any run without changing a single bit of the
+// results; the coordinator re-dispatches whatever a dead worker still owed.
+//
+// Example fleet (see the README's "Distributed mode" quickstart):
+//
+//	optd -addr :8080 -fleet-addr :9090 &
+//	optworker -connect localhost:9090 -name a -capacity 4 &
+//	optworker -connect localhost:9090 -name b -capacity 4 &
+//	curl -s localhost:8080/v1/jobs -d '{"objective":"rosenbrock","dim":3,"sigma0":100,"seed":7,"fleet":true,"max_iterations":200}'
+//
+// The -latency and -spin flags add a simulated per-task cost, standing in
+// for the expensive simulation (an MD trajectory segment in the paper's
+// TIP4P study) a real deployment would run here.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "localhost:9090", "coordinator fleet address")
+		name     = flag.String("name", hostname(), "worker label in fleet status")
+		capacity = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent task capacity")
+		latency  = flag.Duration("latency", 0, "simulated wait per task (models an external simulation)")
+		spin     = flag.Int("spin", 0, "simulated CPU burn per task (floating-point ops)")
+		once     = flag.Bool("once", false, "exit on disconnect instead of reconnecting")
+	)
+	flag.Parse()
+	fmt.Printf("optworker starting: connect=%s name=%s capacity=%d latency=%s spin=%d\n",
+		*connect, *name, *capacity, *latency, *spin)
+
+	w := dist.NewWorker(dist.WorkerConfig{
+		Addr:       *connect,
+		Name:       *name,
+		Capacity:   *capacity,
+		SampleCost: cost(*latency, *spin),
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("received %s; shutting down\n", sig)
+		cancel()
+	}()
+
+	var err error
+	if *once {
+		err = w.Run(ctx)
+	} else {
+		err = w.RunLoop(ctx)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// cost builds the simulated per-task expense from the -latency/-spin flags.
+func cost(latency time.Duration, spin int) func([]float64, float64) {
+	if latency <= 0 && spin <= 0 {
+		return nil
+	}
+	return func([]float64, float64) {
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		x := 1.0
+		for i := 0; i < spin; i++ {
+			x = math.Sqrt(x + float64(i&7))
+		}
+		if x < 0 {
+			panic("unreachable")
+		}
+	}
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "worker"
+	}
+	return h
+}

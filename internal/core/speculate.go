@@ -96,9 +96,12 @@ func (o *optimizer) newCandidates(imax, imin int, cent []float64) (*candidateSet
 	}
 	cs.speculated = true
 	if err := o.sampleFresh(batch, func(i int) int { return ranks[i] }); err != nil {
-		for _, p := range batch {
-			p.Close()
-		}
+		// The aborted batch's candidates can never be consumed — the entries
+		// a worker had already picked up (and sampled) as much as the ones
+		// the abort withdrew before dispatch. Route them through the normal
+		// discard so each is counted in the waste accounting exactly once,
+		// instead of bypassing it with bare Closes.
+		cs.discard()
 		return nil, err
 	}
 	o.trials = cs.live()

@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/testfunc"
+)
+
+// WorkerConfig configures a worker agent.
+type WorkerConfig struct {
+	// Addr is the coordinator's registration address ("host:9090").
+	Addr string
+	// Name labels the worker in fleet status (default "worker").
+	Name string
+	// Capacity is how many tasks the agent executes concurrently. Zero
+	// selects 1.
+	Capacity int
+	// Objectives is the agent's objective catalog; nil selects the testfunc
+	// catalog. Deployments with custom objectives register the same named
+	// functions here that the job manager registers in jobs.Config.Objectives
+	// — the coordinator cross-checks every returned value against its own,
+	// so a divergent implementation fails the run instead of corrupting it.
+	Objectives map[string]func(x []float64) float64
+	// SampleCost, if non-nil, is invoked once per task with the coordinates
+	// and increment, modelling the CPU cost of the underlying simulation —
+	// the work the fleet exists to farm out. It must be safe for concurrent
+	// calls.
+	SampleCost func(x []float64, dt float64)
+	// Dial overrides the connection to the coordinator (tests); nil dials
+	// Addr over TCP.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Logf, if non-nil, receives operational messages (session failures,
+	// reconnect delays). cmd/optworker wires it to stdout; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Worker is one remote sampling agent: it dials the coordinator, registers
+// its capacity, heartbeats, and executes dispatched tasks. A task's result is
+// a pure function of the task, so an agent holds no run state — it can join,
+// die, or rejoin at any point of any run without affecting results.
+type Worker struct {
+	cfg        WorkerConfig
+	objectives map[string]func([]float64) float64
+
+	// streams caches RNG positions per stream seed, so consecutive draws of
+	// one point cost one variate instead of a replay from zero. The cache is
+	// pure optimization: a miss replays Skip draws from the seed, which is
+	// the same sequence bit for bit.
+	mu      sync.Mutex
+	streams map[int64]*streamPos
+}
+
+// streamPos is a cached RNG with the number of draws it has produced.
+type streamPos struct {
+	rng *rand.Rand
+	pos int
+}
+
+// maxCachedStreams bounds the draw cache; past it the cache resets (a safe,
+// purely performance-affecting event).
+const maxCachedStreams = 4096
+
+// NewWorker builds a worker agent.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	w := &Worker{cfg: cfg, streams: make(map[int64]*streamPos)}
+	w.objectives = cfg.Objectives
+	if w.objectives == nil {
+		w.objectives = make(map[string]func([]float64) float64, len(testfunc.Catalog))
+		for _, f := range testfunc.Catalog {
+			w.objectives[f.Name] = f.F
+		}
+	}
+	return w
+}
+
+// Run serves one connection to the coordinator: dial, register, execute
+// dispatches until ctx ends or the connection fails. It returns nil on a
+// ctx-initiated shutdown and the transport error otherwise.
+func (w *Worker) Run(ctx context.Context) error {
+	conn, err := w.dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var sendMu sync.Mutex
+	send := func(m *Message) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return WriteFrame(conn, m)
+	}
+	if err := send(&Message{Type: TypeHello, Hello: &Hello{Name: w.cfg.Name, Capacity: w.cfg.Capacity}}); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	var m Message
+	if err := ReadFrame(conn, &m); err != nil {
+		return fmt.Errorf("dist: welcome: %w", err)
+	}
+	if m.Type != TypeWelcome || m.Welcome == nil {
+		return fmt.Errorf("dist: expected welcome, got %q", m.Type)
+	}
+	heartbeat := time.Duration(m.Welcome.HeartbeatMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+
+	// Heartbeats and a ctx watchdog: closing the connection is what unblocks
+	// the read loop on shutdown.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				conn.Close()
+				return
+			case <-ticker.C:
+				if err := send(&Message{Type: TypeHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Execution pool: dispatched tasks run on up to Capacity goroutines;
+	// each result is sent as soon as it lands, so a slow task never holds
+	// back its batch-mates.
+	sema := make(chan struct{}, w.cfg.Capacity)
+	var tasks sync.WaitGroup
+	defer func() {
+		// A ctx-initiated shutdown is abrupt by design: in-flight tasks are
+		// pure functions whose results the coordinator will obtain elsewhere,
+		// so there is nothing worth draining. Transport-initiated exits wait,
+		// keeping RunLoop's reconnect from racing its own task goroutines.
+		if ctx.Err() == nil {
+			tasks.Wait()
+		}
+	}()
+	for {
+		var m Message
+		if err := ReadFrame(conn, &m); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("dist: read: %w", err)
+		}
+		if m.Type != TypeDispatch || m.Dispatch == nil {
+			continue
+		}
+		for _, t := range m.Dispatch.Tasks {
+			t := t
+			sema <- struct{}{}
+			tasks.Add(1)
+			go func() {
+				defer tasks.Done()
+				defer func() { <-sema }()
+				res := w.execute(t)
+				if err := send(&Message{Type: TypeResults, Results: &Results{Results: []TaskResult{res}}}); err != nil {
+					// A result that cannot be delivered (encode or transport
+					// failure) must not strand the task: tear the session
+					// down so the coordinator re-dispatches it.
+					conn.Close()
+				}
+			}()
+		}
+	}
+}
+
+// RunLoop runs the agent with automatic reconnection until ctx ends: a lost
+// coordinator (restart, network blip) costs a backoff, not the agent. The
+// backoff resets after any session that actually served for a while, so a
+// long-lived agent pays the minimum delay on each routine coordinator
+// restart instead of ratcheting to the cap.
+func (w *Worker) RunLoop(ctx context.Context) error {
+	const (
+		minBackoff = 100 * time.Millisecond
+		maxBackoff = 5 * time.Second
+	)
+	backoff := minBackoff
+	for {
+		start := time.Now()
+		err := w.Run(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if time.Since(start) > time.Second {
+			backoff = minBackoff // the session was healthy; this is a fresh outage
+		}
+		if w.cfg.Logf != nil {
+			// A permanently failing session (wrong port, protocol mismatch)
+			// must leave a trail, not just an empty fleet roster.
+			if err == nil {
+				err = errors.New("connection closed")
+			}
+			w.cfg.Logf("dist: worker session ended: %v (reconnecting in %s)", err, backoff)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// dial connects to the coordinator.
+func (w *Worker) dial(ctx context.Context) (net.Conn, error) {
+	if w.cfg.Dial != nil {
+		return w.cfg.Dial(ctx)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", w.cfg.Addr)
+}
+
+// execute runs one task: the objective evaluation (the expensive simulation
+// being farmed out), the optional simulated sampling cost, and the
+// deterministic draw.
+func (w *Worker) execute(t Task) TaskResult {
+	obj, ok := w.objectives[t.Objective]
+	if !ok {
+		return TaskResult{ID: t.ID, Err: fmt.Sprintf("unknown objective %q", t.Objective)}
+	}
+	f := obj(t.X)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// JSON cannot carry non-finite floats; report the divergence as a
+		// task error (plain string, always encodable) so the batch fails
+		// loudly instead of the result frame failing to marshal.
+		return TaskResult{ID: t.ID, Err: fmt.Sprintf("objective %q is non-finite (%v) at %v", t.Objective, f, t.X)}
+	}
+	if w.cfg.SampleCost != nil {
+		w.cfg.SampleCost(t.X, t.Dt)
+	}
+	return TaskResult{ID: t.ID, Z: w.draw(t.Seed, t.Skip), F: f}
+}
+
+// draw returns the standard-normal variate at position skip of the stream
+// seeded seed — the exact value noise.NewStream(..., seed) would produce as
+// its (skip+1)-th draw. Sequential sampling of one point hits the cache and
+// costs one variate; a re-dispatched or out-of-order task replays the stream
+// from its seed, yielding the same bits.
+func (w *Worker) draw(seed int64, skip int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sp, ok := w.streams[seed]
+	if !ok || sp.pos != skip {
+		if len(w.streams) >= maxCachedStreams {
+			w.streams = make(map[int64]*streamPos)
+		}
+		sp = &streamPos{rng: rand.New(rand.NewSource(seed))}
+		for ; sp.pos < skip; sp.pos++ {
+			sp.rng.NormFloat64()
+		}
+		w.streams[seed] = sp
+	}
+	z := sp.rng.NormFloat64()
+	sp.pos++
+	return z
+}

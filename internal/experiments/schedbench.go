@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
 	"repro/internal/textplot"
@@ -75,6 +77,18 @@ type StepLatencyRun struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// DistRun is one row of the distributed-fleet scaling study: the same batch
+// sequence as the sched rows, executed over remote worker agents (real TCP,
+// in-process endpoints) under the latency cost model.
+type DistRun struct {
+	// Agents is the number of registered worker agents (capacity 1 each).
+	Agents int `json:"agents"`
+	// Seconds is the measured wall time of the batch sequence.
+	Seconds float64 `json:"seconds"`
+	// Speedup is relative to the one-agent row.
+	Speedup float64 `json:"speedup"`
+}
+
 // SchedScalingResult is the full study, serialized into BENCH_sched.json.
 type SchedScalingResult struct {
 	// Batch is the points per SampleAll (d+3 with d=13, the paper's shape).
@@ -95,6 +109,12 @@ type SchedScalingResult struct {
 	// SpecDeterministic reports whether the speculative runs produced
 	// bitwise identical results at every pool width.
 	SpecDeterministic bool `json:"spec_deterministic"`
+	// Dist holds the distributed-fleet scaling rows (internal/dist backend,
+	// latency cost model on the agents).
+	Dist []DistRun `json:"dist"`
+	// DistDeterministic reports whether every fleet size produced estimates
+	// bitwise identical to the in-process runs.
+	DistDeterministic bool `json:"dist_deterministic"`
 }
 
 func (r SchedRun) MarshalJSON() ([]byte, error) {
@@ -108,19 +128,23 @@ func (r SchedRun) MarshalJSON() ([]byte, error) {
 	return json.Marshal(row{r.Workers, r.CPUSeconds, r.CPUSpeedup, r.LatencySeconds, r.LatencySpeedup})
 }
 
-// schedWorkload runs the timed batch sequence on a fresh space and returns
-// the elapsed wall seconds plus every point's final mean (the determinism
-// fingerprint).
-func schedWorkload(workers, batch, rounds int, cost func([]float64, float64)) (float64, []float64) {
-	s := sim.NewLocalSpace(sim.LocalConfig{
-		Dim:        3,
-		F:          testfunc.Rosenbrock,
-		Sigma0:     sim.ConstSigma(10),
-		Seed:       1,
-		Parallel:   true,
-		Workers:    workers,
-		SampleCost: cost,
-	})
+// benchBatchWorkload is the one timed batch sequence every scaling variant
+// runs: a fixed space (dim, objective, noise, seed) and point layout, with
+// only the execution backend varying via mutate. Sharing the construction is
+// what makes the cross-variant determinism comparisons meaningful — a drift
+// in any workload parameter would silently compare different runs.
+func benchBatchWorkload(batch, rounds int, mutate func(*sim.LocalConfig)) (float64, []float64) {
+	cfg := sim.LocalConfig{
+		Dim:      3,
+		F:        testfunc.Rosenbrock,
+		Sigma0:   sim.ConstSigma(10),
+		Seed:     1,
+		Parallel: true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := sim.NewLocalSpace(cfg)
 	defer s.Close()
 	pts := make([]sim.Point, batch)
 	for i := range pts {
@@ -136,6 +160,15 @@ func schedWorkload(workers, batch, rounds int, cost func([]float64, float64)) (f
 		means[i] = p.Estimate().Mean
 	}
 	return elapsed, means
+}
+
+// schedWorkload times the batch sequence on an in-process pool of the given
+// width.
+func schedWorkload(workers, batch, rounds int, cost func([]float64, float64)) (float64, []float64) {
+	return benchBatchWorkload(batch, rounds, func(cfg *sim.LocalConfig) {
+		cfg.Workers = workers
+		cfg.SampleCost = cost
+	})
 }
 
 // stepLatencyWorkload runs a short DET simplex optimization (decisions on
@@ -171,6 +204,41 @@ func stepLatencyWorkload(workers int, speculative bool, iters int, lat time.Dura
 // identical across pool widths.
 func stepFingerprint(res *core.Result) string {
 	return fmt.Sprintf("%x/%x/%d/%d", res.BestG, res.Walltime, res.Evaluations, res.SpeculativeWaste)
+}
+
+// distWorkload runs the same timed batch sequence as schedWorkload, but
+// with sampling farmed out to `agents` remote worker agents over TCP (the
+// internal/dist backend; the latency cost runs on the agents). The returned
+// means must be bitwise identical to the in-process ones — same space seed,
+// same per-point streams, different executors.
+func distWorkload(agents, batch, rounds int, lat time.Duration) (float64, []float64, error) {
+	c := dist.NewCoordinator(dist.Config{})
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		return 0, nil, err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < agents; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Addr:       c.Addr().String(),
+			Name:       fmt.Sprintf("bench%d", i),
+			Capacity:   1,
+			SampleCost: LatencyCost(lat),
+		})
+		go w.RunLoop(ctx)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	if err := c.WaitWorkers(wctx, agents); err != nil {
+		return 0, nil, err
+	}
+
+	elapsed, means := benchBatchWorkload(batch, rounds, func(cfg *sim.LocalConfig) {
+		cfg.Fleet = c
+		cfg.FleetObjective = "rosenbrock"
+	})
+	return elapsed, means, nil
 }
 
 // SchedScaling measures SampleAll wall time against the sched worker count
@@ -232,6 +300,26 @@ func SchedScaling(opt Options) (*SchedScalingResult, error) {
 			Speedup:        seqSec / specSec,
 		})
 	}
+
+	// Distributed fleet: the identical batch sequence farmed to remote
+	// agents. The latency model is the fleet's home turf — each agent's wait
+	// overlaps — and the means must match the in-process rows bit for bit.
+	res.DistDeterministic = true
+	for _, agents := range []int{1, 2, 4, 8} {
+		sec, means, err := distWorkload(agents, batch, rounds, lat)
+		if err != nil {
+			return nil, fmt.Errorf("dist scaling with %d agents: %w", agents, err)
+		}
+		for i := range means {
+			if means[i] != baseMeans[i] {
+				res.DistDeterministic = false
+			}
+		}
+		res.Dist = append(res.Dist, DistRun{Agents: agents, Seconds: sec})
+	}
+	for i := range res.Dist {
+		res.Dist[i].Speedup = res.Dist[0].Seconds / res.Dist[i].Seconds
+	}
 	return res, nil
 }
 
@@ -280,5 +368,18 @@ func BenchSched(opt Options) (string, error) {
 	}
 	b.WriteString(textplot.Table(stepHeader, stepRows))
 	fmt.Fprintf(&b, "bitwise-identical speculative results across worker counts: %v\n", res.SpecDeterministic)
+
+	fmt.Fprintf(&b, "\ndistributed fleet scaling: same batches over remote agents (TCP), latency cost model\n")
+	distHeader := []string{"agents", "seconds", "speedup"}
+	var distRows [][]string
+	for _, r := range res.Dist {
+		distRows = append(distRows, []string{
+			fmt.Sprintf("%d", r.Agents),
+			fmt.Sprintf("%.3f", r.Seconds),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	b.WriteString(textplot.Table(distHeader, distRows))
+	fmt.Fprintf(&b, "fleet estimates bitwise-identical to in-process runs: %v\n", res.DistDeterministic)
 	return b.String(), nil
 }

@@ -1,0 +1,95 @@
+package jobs
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// startFleet brings up a coordinator with n in-process agents for the
+// manager tests.
+func startFleet(t *testing.T, n int) *dist.Coordinator {
+	t.Helper()
+	c := dist.NewCoordinator(dist.Config{})
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sub := make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			w := dist.NewWorker(dist.WorkerConfig{Addr: c.Addr().String(), Name: "jobs-agent", Capacity: 2})
+			go func() {
+				w.RunLoop(ctx)
+				sub <- struct{}{}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			<-sub
+		}
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer wcancel()
+	if err := c.WaitWorkers(wctx, n); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFleetJobBitwiseIdenticalToInProcess runs the same spec through a
+// fleet-backed manager and a plain one: the job results must agree exactly —
+// the manager-level face of the fleet determinism contract.
+func TestFleetJobBitwiseIdenticalToInProcess(t *testing.T) {
+	fleet := startFleet(t, 2)
+	withFleet := newManager(t, Config{MaxConcurrent: 2, Fleet: fleet})
+	plain := newManager(t, Config{MaxConcurrent: 2})
+
+	spec := smallSpec(77)
+	fleetSpec := spec
+	fleetSpec.Fleet = true
+
+	id1, err := withFleet.Submit(fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := plain.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := withFleet.Wait(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := plain.Wait(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("fleet job result diverged from in-process result:\nfleet: %+v\nlocal: %+v", res1, res2)
+	}
+}
+
+// TestFleetSpecValidation pins the submission-time errors for fleet jobs.
+func TestFleetSpecValidation(t *testing.T) {
+	noFleet := newManager(t, Config{})
+	spec := smallSpec(1)
+	spec.Fleet = true
+	if _, err := noFleet.Submit(spec); err == nil || !strings.Contains(err.Error(), "no remote fleet") {
+		t.Errorf("fleet spec on fleetless manager: err = %v", err)
+	}
+
+	fleet := startFleet(t, 1)
+	m := newManager(t, Config{Fleet: fleet})
+	spec.Workers = 4
+	if _, err := m.Submit(spec); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("fleet+workers spec: err = %v", err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // State is a job's lifecycle state.
@@ -131,6 +132,11 @@ type Config struct {
 	RetainTerminal int
 	// Objectives adds custom named objectives to the testfunc catalog.
 	Objectives map[string]func(x []float64) float64
+	// Fleet, when non-nil, lets jobs with Spec.Fleet run their sampling over
+	// a remote worker fleet (a dist.Coordinator) instead of the in-process
+	// pool. The manager does not own the fleet; the caller (cmd/optd)
+	// creates and closes it.
+	Fleet sim.FleetSampler
 }
 
 func (c *Config) normalize() {

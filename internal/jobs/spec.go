@@ -63,6 +63,11 @@ type Spec struct {
 	// Workers gives the job's space a private worker pool of that size
 	// instead of the manager's shared fleet. Leave zero for the fleet.
 	Workers int `json:"workers,omitempty"`
+	// Fleet routes the job's sampling over the manager's remote worker
+	// fleet (Config.Fleet; optd's -fleet-addr listener). The objective must
+	// resolve in the remote workers' catalogs too. Results are bitwise
+	// identical to the in-process run of the same spec.
+	Fleet bool `json:"fleet,omitempty"`
 	// Speculative enables batch-speculative candidate evaluation for
 	// NM-family strategies: every candidate move of a simplex step is
 	// submitted as one prioritized sampling batch before the decision. Runs
@@ -128,6 +133,14 @@ func (s *Spec) validate(m *Manager) error {
 	if s.Workers < 0 || s.Workers > maxWorkers {
 		return fmt.Errorf("jobs: Spec.Workers must be in 0..%d", maxWorkers)
 	}
+	if s.Fleet {
+		if m.cfg.Fleet == nil {
+			return errors.New("jobs: Spec.Fleet set but the manager has no remote fleet (Config.Fleet)")
+		}
+		if s.Workers > 0 {
+			return errors.New("jobs: Spec.Fleet and Spec.Workers are mutually exclusive")
+		}
+	}
 	if s.AdaptiveHalfWidth < 0 {
 		return errors.New("jobs: Spec.AdaptiveHalfWidth must be non-negative")
 	}
@@ -178,9 +191,19 @@ func (m *Manager) space(spec Spec) (*sim.LocalSpace, error) {
 		Seed:     spec.Seed,
 		Parallel: true,
 	}
-	if spec.Workers > 0 {
+	switch {
+	case spec.Fleet:
+		if m.cfg.Fleet == nil {
+			// Submission validates this, but a checkpointed fleet job can be
+			// recovered by a manager started without a fleet; failing the job
+			// beats silently downgrading it to an in-process pool.
+			return nil, errors.New("jobs: spec requires a remote fleet but the manager has none (Config.Fleet)")
+		}
+		cfg.Fleet = m.cfg.Fleet
+		cfg.FleetObjective = spec.Objective
+	case spec.Workers > 0:
 		cfg.Workers = spec.Workers
-	} else {
+	default:
 		cfg.Pool = m.pool
 	}
 	return sim.NewLocalSpace(cfg), nil

@@ -1,0 +1,216 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestManagerSubmitCancelStatusStorm is the manager's survival property
+// under -race: 60 goroutines hammer one small manager with submissions,
+// cancellations (of their own and of other goroutines' jobs), status polls,
+// list/stats scans and waits, all interleaved with the run pool finishing
+// and evicting work. The storm asserts the invariants that must hold under
+// any interleaving: every submitted job reaches a terminal state, Wait's
+// answer is consistent with that state, and the manager's books balance.
+func TestManagerSubmitCancelStatusStorm(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 3,
+		Workers:       2,
+		// Retention far above the storm's job count: eviction is exercised
+		// separately; here every record must stay inspectable.
+		RetainTerminal: -1,
+	})
+
+	const (
+		goroutines = 60
+		jobsEach   = 4
+	)
+	var (
+		ids   = make(chan string, goroutines*jobsEach)
+		wg    sync.WaitGroup
+		fails = make(chan error, goroutines*jobsEach)
+
+		submitted, canceled, done atomic.Int64
+	)
+
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for j := 0; j < jobsEach; j++ {
+				spec := smallSpec(int64(g*1000 + j))
+				spec.MaxIterations = 10 + rng.Intn(30)
+				id, err := m.Submit(spec)
+				if err != nil {
+					fails <- fmt.Errorf("goroutine %d: submit: %v", g, err)
+					return
+				}
+				submitted.Add(1)
+				ids <- id
+
+				// Harass the manager between submissions.
+				switch rng.Intn(4) {
+				case 0:
+					// Cancel own job at a random point of its lifecycle.
+					if err := m.Cancel(id); err != nil {
+						fails <- fmt.Errorf("goroutine %d: cancel %s: %v", g, id, err)
+						return
+					}
+				case 1:
+					// Poll someone's status; any registered ID must resolve.
+					if _, err := m.Get(id); err != nil {
+						fails <- fmt.Errorf("goroutine %d: get %s: %v", g, id, err)
+						return
+					}
+				case 2:
+					m.List()
+					m.Stats()
+				case 3:
+					// Cancel a random other job if one is available; a second
+					// cancel of the same job must be a no-op, not an error.
+					select {
+					case other := <-ids:
+						if err := m.Cancel(other); err != nil {
+							fails <- fmt.Errorf("goroutine %d: cancel other %s: %v", g, other, err)
+							return
+						}
+						if err := m.Cancel(other); err != nil {
+							fails <- fmt.Errorf("goroutine %d: double cancel %s: %v", g, other, err)
+							return
+						}
+						ids <- other
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fails)
+	for err := range fails {
+		t.Fatal(err)
+	}
+	close(ids)
+
+	// Every job must reach a terminal state, and Wait must agree with it.
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		res, err := m.Wait(id)
+		st, gerr := m.Get(id)
+		if gerr != nil {
+			t.Fatalf("job %s: get after wait: %v", id, gerr)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("job %s: state %s after Wait returned", id, st.State)
+		}
+		switch st.State {
+		case StateDone:
+			done.Add(1)
+			if err != nil || res == nil {
+				t.Fatalf("job %s done but Wait = (%v, %v)", id, res, err)
+			}
+		case StateCanceled:
+			canceled.Add(1)
+			// Canceled-before-start yields an error, canceled mid-run yields
+			// the best-so-far result; either way exactly one of the two.
+			if (res == nil) == (err == nil) {
+				t.Fatalf("job %s canceled but Wait = (%v, %v)", id, res, err)
+			}
+		case StateFailed:
+			t.Fatalf("job %s failed: %v", id, err)
+		}
+	}
+	if got := int64(len(seen)); got != submitted.Load() {
+		t.Fatalf("tracked %d jobs, submitted %d", got, submitted.Load())
+	}
+
+	st := m.Stats()
+	if int64(st.Done+st.Canceled+st.Failed) != submitted.Load() || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("books do not balance after the storm: %+v (submitted %d)", st, submitted.Load())
+	}
+	t.Logf("storm: %d submitted, %d done, %d canceled", submitted.Load(), done.Load(), canceled.Load())
+}
+
+// TestCancelWhileQueuedInterleaving pins the deterministic corner the storm
+// only samples: a job canceled while it sits in the queue finalizes
+// immediately (no run-pool slot needed) and Wait reports the
+// canceled-before-start contract.
+func TestCancelWhileQueuedInterleaving(t *testing.T) {
+	m := newManager(t, Config{MaxConcurrent: 1, Objectives: slowObjectives(2 * time.Millisecond)})
+
+	// Occupy the single slot so subsequent submissions queue.
+	blocker, err := m.Submit(slowSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(smallSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.Get(queued); st.State != StateQueued {
+		t.Fatalf("second job state %s, want queued", st.State)
+	}
+	if err := m.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	// The cancellation must finalize without waiting for the blocker.
+	waitDone := make(chan struct{})
+	go func() {
+		m.Wait(queued)
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait on a canceled-while-queued job blocked behind the running job")
+	}
+	if st, _ := m.Get(queued); st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if res, err := m.Result(queued); err == nil || res != nil {
+		t.Fatalf("Result = (%v, %v), want the canceled-before-start error", res, err)
+	}
+	if err := m.Cancel(blocker); err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(blocker)
+}
+
+// TestCancelAfterDoneInterleaving pins the other corner: canceling a job
+// that already finished is a no-op — the state stays done and the result
+// stays available.
+func TestCancelAfterDoneInterleaving(t *testing.T) {
+	m := newManager(t, Config{MaxConcurrent: 1})
+	id, err := m.Submit(smallSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(id); err != nil {
+		t.Fatalf("cancel after done: %v", err)
+	}
+	if st, _ := m.Get(id); st.State != StateDone {
+		t.Fatalf("state %s after cancel-after-done, want done", st.State)
+	}
+	res2, err := m.Result(id)
+	if err != nil || res2 != res {
+		t.Fatalf("Result after cancel-after-done = (%v, %v), want the original result", res2, err)
+	}
+	if err := m.Cancel("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown id: err = %v, want ErrNotFound", err)
+	}
+}

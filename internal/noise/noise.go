@@ -54,10 +54,19 @@ func NewAccumulator(f, sigma0 float64) *Accumulator {
 // Sample accrues dt additional seconds of sampling, drawing the noise
 // increment from rng. dt must be positive.
 func (a *Accumulator) Sample(dt float64, rng *rand.Rand) {
+	a.ApplyDraw(dt, rng.NormFloat64())
+}
+
+// ApplyDraw accrues dt additional seconds of sampling using an externally
+// supplied standard-normal draw z instead of drawing one itself. It is the
+// shared accumulation step behind Sample and the remote-fleet path, where the
+// draw is computed by a worker process from the point's stream seed: applying
+// the same z sequence yields the same state bit for bit, wherever the draws
+// were produced. dt must be positive.
+func (a *Accumulator) ApplyDraw(dt, z float64) {
 	if dt <= 0 {
 		panic("noise: Sample requires dt > 0")
 	}
-	z := rng.NormFloat64()
 	a.w += a.sigma0 * math.Sqrt(dt) * z
 	a.t += dt
 
@@ -175,6 +184,21 @@ func NewStream(f, sigma0 float64, seed int64) *Stream {
 func (s *Stream) Sample(dt float64) {
 	s.mu.Lock()
 	s.Accumulator.Sample(dt, s.rng)
+	s.mu.Unlock()
+}
+
+// ApplyDraw folds in one sampling increment whose standard-normal draw z was
+// computed externally (by a remote fleet worker replaying this stream's seed).
+// The stream's own RNG is advanced by exactly one discarded draw, preserving
+// the invariant that the RNG position always equals the increment count — so
+// local and remote sampling can interleave on one point, and Restore (which
+// replays Increments() draws) stays exact. When z really came from a replica
+// of this stream, the discarded local draw is bit-identical to z; the remote
+// worker merely paid the simulation cost of producing it.
+func (s *Stream) ApplyDraw(dt, z float64) {
+	s.mu.Lock()
+	s.rng.NormFloat64()
+	s.Accumulator.ApplyDraw(dt, z)
 	s.mu.Unlock()
 }
 

@@ -110,6 +110,56 @@ func TestBatchContextCancel(t *testing.T) {
 
 // TestBatchPanicPropagates verifies a task panic re-raises on the Wait
 // caller after the batch drains, matching Do.
+// TestBatchAbortEntryAccountedOnce is the waste-accounting regression test
+// at the sched level: when a batch aborts mid-flight, every entry must end
+// in exactly one of two states — executed once with Canceled() false (a
+// worker picked it up), or never executed with Canceled() true (withdrawn) —
+// and never both or neither. Callers that bill discarded work (the
+// speculative driver's Result.SpeculativeWaste) rely on this to count each
+// entry exactly once.
+func TestBatchAbortEntryAccountedOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := New(Config{Workers: workers})
+		defer s.Close()
+		for trial := 0; trial < 20; trial++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			b := s.NewBatch()
+			const n = 12
+			runs := make([]atomic.Int32, n)
+			entries := make([]*Entry, n)
+			for i := 0; i < n; i++ {
+				i := i
+				entries[i] = b.Submit(i%3, func() {
+					runs[i].Add(1)
+					if runs[i].Load() == 1 && i == trial%n {
+						// Abort while this entry is executing: it was picked
+						// up by a worker, so it must count as run, not as
+						// canceled.
+						cancel()
+					}
+				})
+			}
+			err := b.Wait(ctx)
+			if err != nil && err != context.Canceled {
+				t.Fatal(err)
+			}
+			cancel()
+			for i, e := range entries {
+				ran := int(runs[i].Load())
+				if ran > 1 {
+					t.Fatalf("workers=%d trial=%d: entry %d executed %d times", workers, trial, i, ran)
+				}
+				if ran == 1 && e.Canceled() {
+					t.Fatalf("workers=%d trial=%d: entry %d both executed and Canceled — a waste accountant would bill it twice", workers, trial, i)
+				}
+				if ran == 0 && !e.Canceled() {
+					t.Fatalf("workers=%d trial=%d: entry %d neither executed nor Canceled — a waste accountant would miss it", workers, trial, i)
+				}
+			}
+		}
+	}
+}
+
 func TestBatchPanicPropagates(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		s := New(Config{Workers: workers})

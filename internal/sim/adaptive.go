@@ -57,6 +57,9 @@ func (s *LocalSpace) SampleBatchRanked(ctx context.Context, points []Point, dt f
 		return s.SampleBatch(ctx, points, dt)
 	}
 	lps := s.checkBatch(points)
+	if s.cfg.Fleet != nil {
+		return s.sampleFleet(ctx, lps, dt, rank)
+	}
 	b := s.pool.NewBatch()
 	for i, lp := range lps {
 		lp := lp

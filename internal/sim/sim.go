@@ -160,6 +160,16 @@ type LocalConfig struct {
 	// the jobs manager multiplexes every concurrent optimization over a
 	// single worker fleet this way. The space never closes a shared Pool.
 	Pool *sched.Scheduler
+	// Fleet, if non-nil, farms every batch's sampling increments out to a
+	// remote worker fleet (internal/dist) instead of the in-process pool.
+	// FleetObjective must name, in the workers' catalogs, the same function
+	// F computes; results stay bitwise identical to in-process runs at any
+	// fleet size and under worker death (see fleet.go). SampleCost is not
+	// invoked locally in fleet mode — the simulation cost is the workers'.
+	Fleet FleetSampler
+	// FleetObjective names the objective remote workers evaluate. Required
+	// when Fleet is set.
+	FleetObjective string
 }
 
 // ConstSigma adapts a constant noise strength to the Sigma0 signature.
@@ -190,6 +200,9 @@ func NewLocalSpace(cfg LocalConfig) *LocalSpace {
 	}
 	if cfg.F == nil {
 		panic("sim: LocalConfig.F must be set")
+	}
+	if cfg.Fleet != nil && cfg.FleetObjective == "" {
+		panic("sim: LocalConfig.Fleet requires FleetObjective")
 	}
 	s := &LocalSpace{cfg: cfg}
 	switch {
@@ -244,11 +257,13 @@ func (s *LocalSpace) NewPoint(x []float64) Point {
 	stream := s.nextStream
 	s.nextStream++
 	s.mu.Unlock()
+	seed := sched.StreamSeed(s.cfg.Seed, stream)
 	return &localPoint{
 		space:     s,
 		x:         xc,
 		streamIdx: stream,
-		stream:    noise.NewStream(s.cfg.F(xc), sigma0, sched.StreamSeed(s.cfg.Seed, stream)),
+		seed:      seed,
+		stream:    noise.NewStream(s.cfg.F(xc), sigma0, seed),
 	}
 }
 
@@ -271,6 +286,9 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 		return ctx.Err()
 	}
 	lps := s.checkBatch(points)
+	if s.cfg.Fleet != nil {
+		return s.sampleFleet(ctx, lps, dt, nil)
+	}
 	if err := s.pool.DoN(ctx, len(lps), func(i int) { lps[i].sample(dt) }); err != nil {
 		return err
 	}
@@ -308,6 +326,7 @@ type localPoint struct {
 	space     *LocalSpace
 	x         []float64
 	streamIdx int64
+	seed      int64
 	stream    *noise.Stream
 	closed    bool
 }
@@ -325,6 +344,14 @@ func (p *localPoint) Estimate() Estimate {
 func (p *localPoint) Sample(dt float64) {
 	if p.closed {
 		panic("sim: Sample on closed point")
+	}
+	if p.space.cfg.Fleet != nil {
+		// A lone Sample is a one-point fleet batch; like SampleAll, the only
+		// non-panic failure (a dead fleet) must not pass silently.
+		if err := p.space.sampleFleet(context.Background(), []*localPoint{p}, dt, nil); err != nil {
+			panic(fmt.Sprintf("sim: Sample: %v", err))
+		}
+		return
 	}
 	p.sample(dt)
 	p.space.clock.Advance(dt)

@@ -113,7 +113,8 @@ func (s *LocalSpace) RestorePoint(st PointState) (Point, error) {
 	if s.cfg.Sigma0 != nil {
 		sigma0 = s.cfg.Sigma0(xc)
 	}
-	stream := noise.NewStream(s.cfg.F(xc), sigma0, sched.StreamSeed(s.cfg.Seed, st.Stream))
+	seed := sched.StreamSeed(s.cfg.Seed, st.Stream)
+	stream := noise.NewStream(s.cfg.F(xc), sigma0, seed)
 	stream.Restore(st.Noise)
-	return &localPoint{space: s, x: xc, streamIdx: st.Stream, stream: stream}, nil
+	return &localPoint{space: s, x: xc, streamIdx: st.Stream, seed: seed, stream: stream}, nil
 }

@@ -238,6 +238,28 @@ func (w *Welford) StdErr() float64 {
 // HalfWidth(z) <= h; the adaptive resampling gate keeps sampling until it is.
 func (w *Welford) HalfWidth(z float64) float64 { return z * w.StdErr() }
 
+// Merge folds another accumulator's observations into w, as if every
+// observation both accumulators saw had been Added to w (Chan et al.'s
+// parallel combination of partial moments). Merging the per-shard
+// accumulators of a partitioned stream agrees with a single sequential pass
+// up to floating-point reassociation; the moments remain exact in the
+// Welford sense (no catastrophic cancellation).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	na, nb := float64(w.n), float64(o.n)
+	n := na + nb
+	d := o.mean - w.mean
+	w.mean += d * nb / n
+	w.m2 += o.m2 + d*d*na*nb/n
+	w.n += o.n
+}
+
 // WelfordState is the serializable state of a Welford accumulator, used by
 // the noise layer's checkpoint format. The three moments round-trip exactly
 // through JSON (Go float64 encoding is lossless), preserving bitwise

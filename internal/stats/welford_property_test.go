@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file is the property-test layer over the Welford accumulator, the
+// online-moment engine under the noise layer's sigma estimation, the
+// adaptive-sampling confidence gate and the checkpoint format. The
+// properties are checked with testing/quick over a seeded generator, so
+// failures reproduce.
+
+// quickCfg returns a deterministic testing/quick configuration.
+func quickCfg(seed int64, max int) *quick.Config {
+	return &quick.Config{Rand: rand.New(rand.NewSource(seed)), MaxCount: max}
+}
+
+// randSeq draws a random-length float sequence with mixed scales — large
+// offsets plus small jitter is exactly the regime naive two-pass variance
+// loses digits in.
+func randSeq(rng *rand.Rand) []float64 {
+	n := 1 + rng.Intn(60)
+	offset := math.Pow(10, float64(rng.Intn(7)-3))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = offset * (1 + 1e-6*rng.NormFloat64())
+	}
+	return out
+}
+
+// TestWelfordStateRestoreRoundTripProperty checks restore exactness: an
+// accumulator restored from State and then fed more observations is bitwise
+// indistinguishable from one that saw the whole stream uninterrupted —
+// whatever the split point. This is the property the checkpoint format's
+// bitwise-resume contract needs from the stats layer.
+func TestWelfordStateRestoreRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		xs := randSeq(rng)
+		cut := rng.Intn(len(xs) + 1)
+
+		var whole Welford
+		for _, x := range xs {
+			whole.Add(x)
+		}
+
+		var first Welford
+		for _, x := range xs[:cut] {
+			first.Add(x)
+		}
+		var resumed Welford
+		resumed.Restore(first.State())
+		for _, x := range xs[cut:] {
+			resumed.Add(x)
+		}
+
+		ws, rs := whole.State(), resumed.State()
+		if ws != rs {
+			t.Errorf("split at %d/%d: resumed state %+v != whole state %+v", cut, len(xs), rs, ws)
+			return false
+		}
+		// The state must also capture everything: a second round trip of the
+		// final state is the identity.
+		var again Welford
+		again.Restore(rs)
+		return again.State() == rs
+	}
+	if err := quick.Check(f, quickCfg(1, 400)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWelfordMergeMatchesSequentialProperty checks merge-vs-sequential
+// agreement: splitting a random sequence into random shards, accumulating
+// each shard independently and merging must agree with the single
+// sequential pass on count exactly and on mean/variance to floating-point
+// reassociation accuracy.
+func TestWelfordMergeMatchesSequentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const relTol = 1e-9
+	close := func(a, b float64) bool {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= relTol*math.Max(scale, 1)
+	}
+	f := func() bool {
+		xs := randSeq(rng)
+		var seq Welford
+		for _, x := range xs {
+			seq.Add(x)
+		}
+
+		// Random sharding, including empty shards (merging one is a no-op).
+		var merged Welford
+		for i := 0; i < len(xs); {
+			var shard Welford
+			if rng.Intn(6) > 0 { // one in six shards stays empty
+				w := 1 + rng.Intn(len(xs)-i)
+				for _, x := range xs[i : i+w] {
+					shard.Add(x)
+				}
+				i += w
+			}
+			merged.Merge(shard)
+		}
+
+		if merged.N() != seq.N() {
+			t.Errorf("merged N = %d, sequential N = %d", merged.N(), seq.N())
+			return false
+		}
+		if !close(merged.Mean(), seq.Mean()) {
+			t.Errorf("merged mean %v, sequential %v (n=%d)", merged.Mean(), seq.Mean(), seq.N())
+			return false
+		}
+		if !close(merged.Variance(), seq.Variance()) {
+			t.Errorf("merged variance %v, sequential %v (n=%d)", merged.Variance(), seq.Variance(), seq.N())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(2, 400)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWelfordMergeIntoEmpty pins the two identity shapes: merging into a
+// fresh accumulator copies the argument exactly, and merging an empty
+// argument changes nothing.
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a Welford
+	for _, x := range []float64{1, 2, 3.5} {
+		a.Add(x)
+	}
+	var b Welford
+	b.Merge(a)
+	if b.State() != a.State() {
+		t.Errorf("merge into empty: %+v != %+v", b.State(), a.State())
+	}
+	before := a.State()
+	a.Merge(Welford{})
+	if a.State() != before {
+		t.Errorf("merge of empty changed state: %+v != %+v", a.State(), before)
+	}
+}
+
+// TestWelfordMergeAgainstTwoPass crosses Merge with the package's two-pass
+// reference implementations on a concrete case.
+func TestWelfordMergeAgainstTwoPass(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, -5, 9, 2, 6}
+	var a, b Welford
+	for _, x := range xs[:3] {
+		a.Add(x)
+	}
+	for _, x := range xs[3:] {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", a.N(), len(xs))
+	}
+	if got, want := a.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := a.Variance(), Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}

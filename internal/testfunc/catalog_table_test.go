@@ -1,0 +1,171 @@
+package testfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file is the table-driven contract for the scenario catalog: every
+// objective's known minimum location and value (exactly, not approximately —
+// the catalog minima are all representable), its dimension rule, and its
+// symmetry properties. A new scenario objective added to the catalog without
+// a row here fails TestCatalogTableIsComplete, so regressions cannot slip in
+// silently.
+
+// catalogRow pins one objective's analytically known facts.
+type catalogRow struct {
+	name string
+	// dims are the dimensions the entry is exercised at (for Dim == 0
+	// entries a representative spread; for fixed-Dim entries exactly it).
+	dims []int
+	// fminExact demands F(minimizer) == FMin bit for bit: all catalog
+	// minima evaluate without rounding (sums of exactly-representable
+	// terms).
+	fminExact bool
+	// even marks f(x) == f(-x) for all x.
+	even bool
+	// permutationInvariant marks f independent of coordinate order.
+	permutationInvariant bool
+}
+
+var catalogTable = []catalogRow{
+	{name: "rosenbrock", dims: []int{2, 3, 4, 10, 100}, fminExact: true},
+	{name: "powell", dims: []int{4}, fminExact: true, even: true},
+	{name: "sphere", dims: []int{2, 3, 7}, fminExact: true, even: true, permutationInvariant: true},
+	{name: "quartic", dims: []int{2, 3, 7}, fminExact: true, even: true, permutationInvariant: true},
+	{name: "beale", dims: []int{2}, fminExact: true},
+	{name: "rastrigin", dims: []int{2, 3, 7}, fminExact: true, even: true, permutationInvariant: true},
+}
+
+// TestCatalogTableIsComplete forces a table row (and therefore pinned
+// minimum/symmetry facts) for every catalog entry, and no stale rows.
+func TestCatalogTableIsComplete(t *testing.T) {
+	rows := map[string]bool{}
+	for _, r := range catalogTable {
+		rows[r.name] = true
+	}
+	for _, f := range Catalog {
+		if !rows[f.Name] {
+			t.Errorf("catalog objective %q has no row in catalogTable: pin its minimum and symmetries before shipping it", f.Name)
+		}
+		delete(rows, f.Name)
+	}
+	for name := range rows {
+		t.Errorf("catalogTable row %q matches no catalog objective", name)
+	}
+}
+
+// TestCatalogKnownMinima checks, per objective and dimension, that the
+// claimed minimizer achieves exactly FMin and that every on-axis
+// perturbation strictly increases the value — the minimum is where the
+// catalog says it is, not merely somewhere nearby.
+func TestCatalogKnownMinima(t *testing.T) {
+	for _, row := range catalogTable {
+		f, err := ByName(row.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range row.dims {
+			if f.Dim != 0 && d != f.Dim {
+				t.Fatalf("table row %s lists dim %d but the objective requires %d", row.name, d, f.Dim)
+			}
+			xmin := f.Minimizer(d)
+			if len(xmin) != d {
+				t.Errorf("%s: Minimizer(%d) has %d coordinates", row.name, d, len(xmin))
+				continue
+			}
+			got := f.F(xmin)
+			if row.fminExact && got != f.FMin {
+				t.Errorf("%s d=%d: F(minimizer) = %v, want exactly %v", row.name, d, got, f.FMin)
+			}
+			for i := 0; i < d; i++ {
+				for _, delta := range []float64{0.05, -0.05, 0.4, -0.4} {
+					x := append([]float64(nil), xmin...)
+					x[i] += delta
+					if v := f.F(x); v <= f.FMin {
+						t.Errorf("%s d=%d: perturbing coordinate %d by %v gives %v <= FMin %v — the claimed minimizer is not a strict axis minimum",
+							row.name, d, i, delta, v, f.FMin)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCatalogSymmetries checks the evenness and permutation-invariance
+// claims of the table over random points. A symmetry silently broken by an
+// "optimized" rewrite of an objective would skew every experiment comparing
+// runs across mirrored or reordered starts.
+func TestCatalogSymmetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, row := range catalogTable {
+		f, err := ByName(row.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range row.dims {
+			for trial := 0; trial < 40; trial++ {
+				x := make([]float64, d)
+				for i := range x {
+					x[i] = rng.Float64()*8 - 4
+				}
+				fx := f.F(x)
+				if row.even {
+					neg := make([]float64, d)
+					for i := range x {
+						neg[i] = -x[i]
+					}
+					if fn := f.F(neg); fn != fx {
+						t.Errorf("%s d=%d: f(-x) = %v != f(x) = %v at x=%v", row.name, d, fn, fx, x)
+					}
+				}
+				if row.permutationInvariant {
+					// Mathematical, not bitwise: reordering the summation
+					// reassociates the floating-point adds, so equality holds
+					// only to rounding.
+					perm := append([]float64(nil), x...)
+					rng.Shuffle(d, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+					fp := f.F(perm)
+					if math.Abs(fp-fx) > 1e-12*math.Max(math.Abs(fx), 1) {
+						t.Errorf("%s d=%d: f(perm(x)) = %v != f(x) = %v at x=%v", row.name, d, fp, fx, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCatalogDimensionRules checks the Dim contract the job layer validates
+// against: fixed-Dim objectives panic off their dimension, any-Dim
+// objectives accept the full spread and reject d < 2 only where documented.
+func TestCatalogDimensionRules(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	for _, f := range Catalog {
+		if f.Dim != 0 {
+			f := f
+			bad := make([]float64, f.Dim+1)
+			mustPanic(f.Name+" (dim+1)", func() { f.F(bad) })
+			continue
+		}
+		// Any-dimension objectives must actually work across the spread.
+		for _, d := range []int{2, 5, 50} {
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = 0.5
+			}
+			if v := f.F(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s d=%d: non-finite value %v", f.Name, d, v)
+			}
+		}
+	}
+	mustPanic("rosenbrock (dim 1)", func() { Rosenbrock([]float64{1}) })
+}

@@ -61,6 +61,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/jobs"
 	"repro/internal/mw"
 	"repro/internal/sim"
@@ -244,6 +245,46 @@ func ResumeWithRestartsContext(ctx context.Context, space Space, snap *Snapshot,
 	return Run(ctx, space, WithConfig(rcfg.Config), WithResume(snap),
 		WithRestarts(rcfg.Restarts, rcfg.Scale...), WithRestartDecay(rcfg.ScaleDecay))
 }
+
+// Distributed sampling fleet: the network realization of the paper's
+// master/worker deployment. A FleetCoordinator accepts worker agents
+// (cmd/optworker, or in-process FleetWorkers) over TCP with a
+// length-prefixed JSON frame protocol, dispatches prioritized sampling tasks
+// over their registered capacity, and deterministically re-dispatches the
+// outstanding tasks of dead workers. It implements FleetSampler, so it plugs
+// underneath any run via WithFleet (or LocalConfig.Fleet), any job via
+// JobSpec.Fleet, and the optd server via -fleet-addr — with results bitwise
+// identical to in-process runs at any fleet size and under worker death.
+type (
+	// FleetSampler is the remote sampling backend interface a LocalSpace
+	// dispatches batches through (see WithFleet).
+	FleetSampler = sim.FleetSampler
+	// FleetCoordinator owns the fleet: registration, dispatch, heartbeats,
+	// deterministic re-dispatch. Create with NewFleetCoordinator.
+	FleetCoordinator = dist.Coordinator
+	// FleetCoordinatorConfig configures the coordinator (heartbeat interval
+	// and death timeout).
+	FleetCoordinatorConfig = dist.Config
+	// FleetStatus is the coordinator's aggregate state (the "fleet" section
+	// of optd's /healthz).
+	FleetStatus = dist.Status
+	// FleetWorker is one sampling agent; cmd/optworker wraps it, and tests
+	// or embedded deployments run it in-process with NewFleetWorker.
+	FleetWorker = dist.Worker
+	// FleetWorkerConfig configures an agent (coordinator address, capacity,
+	// objective catalog, simulated sampling cost).
+	FleetWorkerConfig = dist.WorkerConfig
+)
+
+// NewFleetCoordinator builds a fleet coordinator; call Listen on it to open
+// the worker-registration listener, and Close to shut the fleet down.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) *FleetCoordinator {
+	return dist.NewCoordinator(cfg)
+}
+
+// NewFleetWorker builds a sampling agent; its Run (one connection) or
+// RunLoop (auto-reconnect) executes tasks until the context ends.
+func NewFleetWorker(cfg FleetWorkerConfig) *FleetWorker { return dist.NewWorker(cfg) }
 
 // Job service: the in-process form of the cmd/optd server. A JobManager
 // multiplexes many concurrent optimization runs — first-class jobs with
