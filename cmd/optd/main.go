@@ -45,6 +45,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "localhost:8080", "listen address")
 		fleetAddr  = flag.String("fleet-addr", "", "remote-worker registration address (empty = no remote fleet)")
+		fleetProto = flag.String("fleet-proto", "binary", "frame codec ceiling for worker sessions: binary (negotiate the compact codec) or json (force the fallback)")
 		maxConc    = flag.Int("max-concurrent", 4, "jobs running simultaneously")
 		workers    = flag.Int("workers", 0, "shared sampling fleet size (0 = GOMAXPROCS)")
 		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
@@ -60,13 +61,16 @@ func main() {
 	var fleet *dist.Coordinator
 	var fleetSampler sim.FleetSampler // typed nil must stay nil in the config
 	if *fleetAddr != "" {
-		fleet = dist.NewCoordinator(dist.Config{})
+		if _, err := dist.ParseProto(*fleetProto); err != nil {
+			fatal(err)
+		}
+		fleet = dist.NewCoordinator(dist.Config{Protocol: *fleetProto})
 		if err := fleet.Listen(*fleetAddr); err != nil {
 			fatal(err)
 		}
 		defer fleet.Close()
 		fleetSampler = fleet
-		fmt.Printf("fleet listening on %s (optworker -connect)\n", fleet.Addr())
+		fmt.Printf("fleet listening on %s (optworker -connect, proto=%s)\n", fleet.Addr(), *fleetProto)
 	}
 
 	mgr, err := jobs.New(jobs.Config{

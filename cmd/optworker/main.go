@@ -39,15 +39,21 @@ func main() {
 		latency  = flag.Duration("latency", 0, "simulated wait per task (models an external simulation)")
 		spin     = flag.Int("spin", 0, "simulated CPU burn per task (floating-point ops)")
 		once     = flag.Bool("once", false, "exit on disconnect instead of reconnecting")
+		proto    = flag.String("proto", "auto", "frame codec: auto (offer binary, accept fallback), binary (require binary), json (stay on the JSON fallback)")
 	)
 	flag.Parse()
-	fmt.Printf("optworker starting: connect=%s name=%s capacity=%d latency=%s spin=%d\n",
-		*connect, *name, *capacity, *latency, *spin)
+	if *proto != "auto" && *proto != "binary" && *proto != "json" {
+		fmt.Fprintf(os.Stderr, "optworker: invalid -proto %q (want auto, binary or json)\n", *proto)
+		os.Exit(2)
+	}
+	fmt.Printf("optworker starting: connect=%s name=%s capacity=%d latency=%s spin=%d proto=%s\n",
+		*connect, *name, *capacity, *latency, *spin, *proto)
 
 	w := dist.NewWorker(dist.WorkerConfig{
 		Addr:       *connect,
 		Name:       *name,
 		Capacity:   *capacity,
+		Protocol:   *proto,
 		SampleCost: cost(*latency, *spin),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)

@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/testfunc"
+)
+
+// This file is the cross-codec conformance gate: every golden trace in the
+// matrix is replayed with sampling farmed over an in-process TCP fleet whose
+// two sides disagree about the preferred frame codec — a JSON-ceiling
+// coordinator with binary-offering workers, and a binary coordinator with
+// JSON-only workers. Whatever codec the handshake lands on, the rendered
+// trace must stay byte-identical to the committed golden, proving the wire
+// format is invisible to the optimization trajectory.
+
+// codecPairs are the mixed-codec fleet configurations under test. Both
+// negotiate down to the JSON session codec from opposite directions; the
+// all-binary path is exercised by the dist determinism tests and the process
+// e2e, which CI runs under both DIST_PROTO values.
+var codecPairs = []struct {
+	name        string
+	coordinator string // coordinator codec ceiling
+	worker      string // worker codec policy
+}{
+	{"json-coordinator-binary-worker", "json", "auto"},
+	{"binary-coordinator-json-worker", "binary", "json"},
+}
+
+// newCodecFleet starts a coordinator with the given codec ceiling and two
+// registered agents with the given codec policy.
+func newCodecFleet(t *testing.T, coordinatorProto, workerProto string) *dist.Coordinator {
+	t.Helper()
+	c := dist.NewCoordinator(dist.Config{Protocol: coordinatorProto})
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, name := range []string{"a", "b"} {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Addr: c.Addr().String(), Name: name, Capacity: 2, Protocol: workerProto,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(ctx)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := c.WaitWorkers(wctx, 2); err != nil {
+		t.Fatalf("agents did not register: %v", err)
+	}
+	return c
+}
+
+// runFleetTrace renders one case's trace with sampling over the fleet.
+func runFleetTrace(tb testing.TB, c traceCase, fleet *dist.Coordinator) string {
+	tb.Helper()
+	f, err := testfunc.ByName(c.objective)
+	if err != nil {
+		tb.Fatalf("objective %q: %v", c.objective, err)
+	}
+	space := sim.NewLocalSpace(sim.LocalConfig{
+		Dim:            c.dim,
+		F:              f.F,
+		Sigma0:         sim.ConstSigma(0.5),
+		Seed:           defaultSeed,
+		Parallel:       true,
+		Workers:        1,
+		Fleet:          fleet,
+		FleetObjective: c.objective,
+	})
+	defer space.Close()
+	var b strings.Builder
+	spec := caseSpec(c, func(e core.TraceEvent) { b.WriteString(formatEvent(e)) })
+	res, err := core.Run(context.Background(), space, spec)
+	if err != nil {
+		tb.Fatalf("%s over fleet: %v", c.name(), err)
+	}
+	b.WriteString(formatResult(res))
+	return b.String()
+}
+
+// TestFleetCrossCodecGoldenTraces replays the full golden matrix over each
+// mixed-codec fleet and requires byte identity with the committed goldens.
+func TestFleetCrossCodecGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet replay skipped in -short mode")
+	}
+	for _, pair := range codecPairs {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			fleet := newCodecFleet(t, pair.coordinator, pair.worker)
+			for _, w := range fleet.Status().Workers {
+				if w.Protocol != "json" {
+					t.Fatalf("mixed-codec session for %s negotiated %q, want the json fallback",
+						w.Name, w.Protocol)
+				}
+			}
+			for _, c := range matrix() {
+				c := c
+				t.Run(c.name(), func(t *testing.T) {
+					want, err := os.ReadFile(goldenPath(c))
+					if err != nil {
+						t.Fatalf("missing golden (regenerate with -update): %v", err)
+					}
+					if got := runFleetTrace(t, c, fleet); got != string(want) {
+						t.Fatalf("fleet trace differs from golden %s:\n%s",
+							goldenPath(c), firstDiff(string(want), got))
+					}
+				})
+			}
+		})
+	}
+}

@@ -17,12 +17,22 @@ import (
 // ErrClosed is returned by SampleFleet after Close.
 var ErrClosed = errors.New("dist: coordinator is closed")
 
-// finite reports whether v can cross a JSON frame.
+// finite reports whether v can cross a frame (neither codec carries
+// non-finite floats).
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // maxWorkerCapacity clamps a worker's announced concurrency: capacity sizes
 // the per-worker send queue, and an absurd hello must not allocate one.
 const maxWorkerCapacity = 1024
+
+// pipelineDepth is how many capacities of work a worker may hold: one
+// executing, the rest queued on the worker's side of the wire. A worker that
+// finishes a task starts the next one it already holds instead of idling for
+// a result/dispatch round-trip, so the RTT is paid concurrently with
+// execution rather than between tasks. Depth 2 hides one RTT, which is all
+// there is to hide; deeper pipelines only inflate re-dispatch bills when a
+// worker dies.
+const pipelineDepth = 2
 
 // Config configures a Coordinator.
 type Config struct {
@@ -33,6 +43,11 @@ type Config struct {
 	// before it is declared dead and its outstanding tasks are re-dispatched.
 	// Zero selects 3 * Heartbeat.
 	Timeout time.Duration
+	// Protocol caps the frame codec the coordinator negotiates per session:
+	// "binary" (or empty) grants binary-capable workers the compact codec,
+	// "json" forces every session onto the JSON fallback. Codecs never affect
+	// results, only bytes and cycles.
+	Protocol string
 }
 
 func (c *Config) normalize() {
@@ -41,6 +56,9 @@ func (c *Config) normalize() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 3 * c.Heartbeat
+	}
+	if c.Protocol == "" {
+		c.Protocol = ProtoBinary.String()
 	}
 }
 
@@ -51,7 +69,8 @@ func (c *Config) normalize() {
 // sim.LocalSpace (LocalConfig.Fleet / UseFleet) underneath every optimizer.
 // Create with NewCoordinator, start with Listen, release with Close.
 type Coordinator struct {
-	cfg Config
+	cfg     Config
+	ceiling Proto // parsed cfg.Protocol
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -76,7 +95,9 @@ type remoteWorker struct {
 	id       string
 	name     string
 	capacity int
+	proto    Proto
 	conn     net.Conn
+	fw       *FrameWriter // owned by the sender goroutine after handshake
 
 	outstanding map[uint64]*task
 	lastSeen    time.Time
@@ -109,8 +130,13 @@ type batch struct {
 // listener.
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg.normalize()
+	ceiling, err := ParseProto(cfg.Protocol)
+	if err != nil {
+		panic(err)
+	}
 	c := &Coordinator{
 		cfg:     cfg,
+		ceiling: ceiling,
 		workers: make(map[string]*remoteWorker),
 		tasks:   make(map[uint64]*task),
 		quit:    make(chan struct{}),
@@ -228,6 +254,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	if name == "" {
 		name = "worker"
 	}
+	proto := negotiateProto(m.Hello.Protos, c.ceiling)
 
 	c.mu.Lock()
 	if c.closed {
@@ -240,24 +267,29 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		id:          fmt.Sprintf("%s#%d", name, c.nextID),
 		name:        name,
 		capacity:    capacity,
+		proto:       proto,
 		conn:        conn,
 		outstanding: make(map[uint64]*task),
 		lastSeen:    time.Now(),
 		// sendq never holds more than the worker's outstanding tasks, which
-		// dispatchLocked bounds by capacity.
-		sendq: make(chan Task, capacity),
+		// dispatchLocked bounds by pipelineDepth * capacity.
+		sendq: make(chan Task, pipelineDepth*capacity),
 		quit:  make(chan struct{}),
 	}
 	c.workers[w.id] = w
 	c.mu.Unlock()
 
+	// The welcome is the last JSON frame of a binary session: it announces the
+	// codec every later frame uses.
 	if err := WriteFrame(conn, &Message{Type: TypeWelcome, Welcome: &Welcome{
 		Worker:          w.id,
 		HeartbeatMillis: int(c.cfg.Heartbeat / time.Millisecond),
+		Proto:           proto.String(),
 	}}); err != nil {
 		c.killWorker(w, "welcome failed")
 		return
 	}
+	w.fw = NewFrameWriter(conn, proto)
 
 	c.wg.Add(1)
 	go func() {
@@ -293,7 +325,7 @@ func (c *Coordinator) sender(w *remoteWorker) {
 				break drain
 			}
 		}
-		if err := WriteFrame(w.conn, &Message{Type: TypeDispatch, Dispatch: &Dispatch{Tasks: tasks}}); err != nil {
+		if err := w.fw.Write(&Message{Type: TypeDispatch, Dispatch: &Dispatch{Tasks: tasks}}); err != nil {
 			c.killWorker(w, "send failed")
 			return
 		}
@@ -303,9 +335,10 @@ func (c *Coordinator) sender(w *remoteWorker) {
 // reader consumes the worker's frames until the connection ends, then
 // declares it dead (re-dispatching whatever it still owed).
 func (c *Coordinator) reader(w *remoteWorker) {
+	fr := NewFrameReader(w.conn, w.proto)
 	for {
 		var m Message
-		if err := ReadFrame(w.conn, &m); err != nil {
+		if err := fr.Read(&m); err != nil {
 			c.killWorker(w, "disconnected")
 			return
 		}
@@ -390,9 +423,11 @@ func (c *Coordinator) abandonBatchLocked(b *batch) {
 	heap.Init(&c.queue)
 }
 
-// dispatchLocked assigns queued tasks to workers with free capacity, best
-// task (lowest priority, then oldest) first, to the freest worker. Which
-// worker executes a task never affects its value — only when it lands.
+// dispatchLocked assigns queued tasks to workers with free pipeline slots,
+// best task (lowest priority, then oldest) first, to the freest worker. A
+// worker's slot budget is pipelineDepth * capacity: capacity tasks executing
+// plus a queued reserve that hides the dispatch round-trip. Which worker
+// executes a task never affects its value — only when it lands.
 func (c *Coordinator) dispatchLocked() {
 	for c.queue.Len() > 0 {
 		var best *remoteWorker
@@ -401,7 +436,7 @@ func (c *Coordinator) dispatchLocked() {
 			if w.dead {
 				continue
 			}
-			if f := w.capacity - len(w.outstanding); f > free {
+			if f := pipelineDepth*w.capacity - len(w.outstanding); f > free {
 				best, free = w, f
 			}
 		}
@@ -417,9 +452,9 @@ func (c *Coordinator) dispatchLocked() {
 		select {
 		case best.sendq <- t.wire:
 		default:
-			// Cannot happen while outstanding <= capacity == cap(sendq); kept
-			// as a non-blocking guard so a bookkeeping bug cannot deadlock the
-			// coordinator under its own lock.
+			// Cannot happen while outstanding <= pipelineDepth * capacity ==
+			// cap(sendq); kept as a non-blocking guard so a bookkeeping bug
+			// cannot deadlock the coordinator under its own lock.
 			delete(best.outstanding, t.id)
 			t.w = nil
 			heap.Push(&c.queue, t)
@@ -499,7 +534,7 @@ func (c *Coordinator) SampleFleet(ctx context.Context, reqs []sim.FleetRequest) 
 	if len(reqs) == 0 {
 		return nil, ctx.Err()
 	}
-	// Non-finite coordinates or increments cannot cross the JSON frames;
+	// Non-finite coordinates or increments cannot cross either frame codec;
 	// reject them here instead of letting an unencodable dispatch frame
 	// kill every worker it is offered to.
 	for i, r := range reqs {
@@ -577,10 +612,15 @@ type WorkerStatus struct {
 	Capacity    int     `json:"capacity"`
 	Outstanding int     `json:"outstanding"`
 	IdleSeconds float64 `json:"idle_seconds"`
+	// Protocol is the frame codec this session negotiated.
+	Protocol string `json:"protocol"`
 }
 
 // Status is a point-in-time view of the fleet, served by optd's /healthz.
 type Status struct {
+	// Protocol is the codec ceiling the coordinator negotiates under
+	// (Config.Protocol after defaulting).
+	Protocol string `json:"protocol"`
 	// Workers lists the registered agents, sorted by id.
 	Workers []WorkerStatus `json:"workers"`
 	// Capacity is the fleet's total concurrent-task capacity.
@@ -600,6 +640,7 @@ func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{
+		Protocol:       c.ceiling.String(),
 		CompletedTasks: c.completed,
 		RequeuedTasks:  c.requeued,
 		DeadWorkers:    c.deadWorkers,
@@ -612,6 +653,7 @@ func (c *Coordinator) Status() Status {
 			Capacity:    w.capacity,
 			Outstanding: len(w.outstanding),
 			IdleSeconds: now.Sub(w.lastSeen).Seconds(),
+			Protocol:    w.proto.String(),
 		})
 		st.Capacity += w.capacity
 		st.OutstandingTasks += len(w.outstanding)

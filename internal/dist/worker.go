@@ -33,6 +33,11 @@ type WorkerConfig struct {
 	// the work the fleet exists to farm out. It must be safe for concurrent
 	// calls.
 	SampleCost func(x []float64, dt float64)
+	// Protocol selects the frame codec: "auto" (or empty) offers the binary
+	// codec and accepts whatever the coordinator grants, "binary" requires
+	// the binary codec (the session fails if the coordinator only speaks
+	// JSON), "json" offers nothing and stays on the JSON fallback.
+	Protocol string
 	// Dial overrides the connection to the coordinator (tests); nil dials
 	// Addr over TCP.
 	Dial func(ctx context.Context) (net.Conn, error)
@@ -57,8 +62,12 @@ type Worker struct {
 	streams map[int64]*streamPos
 }
 
-// streamPos is a cached RNG with the number of draws it has produced.
+// streamPos is a cached RNG with the number of draws it has produced. Each
+// entry carries its own lock so a cache-miss replay — thousands of discarded
+// variates for a far-ahead skip — serializes only tasks of the same stream,
+// not the whole agent.
 type streamPos struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 	pos int
 }
@@ -67,13 +76,23 @@ type streamPos struct {
 // purely performance-affecting event).
 const maxCachedStreams = 4096
 
-// NewWorker builds a worker agent.
+// NewWorker builds a worker agent. It panics on an unknown Protocol — a
+// misconfigured agent must fail at startup, not negotiate something
+// surprising.
 func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Capacity < 1 {
 		cfg.Capacity = 1
 	}
 	if cfg.Name == "" {
 		cfg.Name = "worker"
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = "auto"
+	}
+	if cfg.Protocol != "auto" {
+		if _, err := ParseProto(cfg.Protocol); err != nil {
+			panic(err)
+		}
 	}
 	w := &Worker{cfg: cfg, streams: make(map[int64]*streamPos)}
 	w.objectives = cfg.Objectives
@@ -96,13 +115,17 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	defer conn.Close()
 
-	var sendMu sync.Mutex
-	send := func(m *Message) error {
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		return WriteFrame(conn, m)
+	// The handshake is always JSON: hello offers the codecs this agent
+	// speaks, welcome announces the one the session will use.
+	var protos []string
+	if w.cfg.Protocol != "json" {
+		protos = []string{ProtoBinary.String()}
 	}
-	if err := send(&Message{Type: TypeHello, Hello: &Hello{Name: w.cfg.Name, Capacity: w.cfg.Capacity}}); err != nil {
+	if err := WriteFrame(conn, &Message{Type: TypeHello, Hello: &Hello{
+		Name:     w.cfg.Name,
+		Capacity: w.cfg.Capacity,
+		Protos:   protos,
+	}}); err != nil {
 		return fmt.Errorf("dist: hello: %w", err)
 	}
 	var m Message
@@ -112,9 +135,31 @@ func (w *Worker) Run(ctx context.Context) error {
 	if m.Type != TypeWelcome || m.Welcome == nil {
 		return fmt.Errorf("dist: expected welcome, got %q", m.Type)
 	}
+	proto := ProtoJSON
+	if m.Welcome.Proto != "" {
+		if proto, err = ParseProto(m.Welcome.Proto); err != nil {
+			return fmt.Errorf("dist: welcome: %w", err)
+		}
+	}
+	if proto != ProtoJSON && w.cfg.Protocol == "json" {
+		return fmt.Errorf("dist: coordinator granted %q, which this agent never offered", proto)
+	}
+	if proto != ProtoBinary && w.cfg.Protocol == "binary" {
+		// -proto binary is a deployment assertion: fail the session loudly
+		// instead of silently paying the JSON fallback forever.
+		return fmt.Errorf("dist: coordinator fell back to %q but this agent requires the binary protocol", proto)
+	}
 	heartbeat := time.Duration(m.Welcome.HeartbeatMillis) * time.Millisecond
 	if heartbeat <= 0 {
 		heartbeat = time.Second
+	}
+
+	fw := NewFrameWriter(conn, proto)
+	var sendMu sync.Mutex
+	send := func(m *Message) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return fw.Write(m)
 	}
 
 	// Heartbeats and a ctx watchdog: closing the connection is what unblocks
@@ -139,23 +184,56 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}()
 
-	// Execution pool: dispatched tasks run on up to Capacity goroutines;
-	// each result is sent as soon as it lands, so a slow task never holds
-	// back its batch-mates.
-	sema := make(chan struct{}, w.cfg.Capacity)
+	// Execution pool: Capacity executor goroutines drain a FIFO task queue
+	// sized for the coordinator's pipeline, so the agent always holds queued
+	// work while executing — finishing a task starts the next one
+	// immediately instead of idling for a dispatch round-trip. Each result is
+	// sent as soon as it lands, so a slow task never holds back its
+	// batch-mates, and the read loop never blocks on execution capacity.
+	// FIFO handoff keeps execution in dispatch order (a capacity-1 agent runs
+	// tasks exactly in the coordinator's priority order, pipeline or not).
+	taskq := make(chan Task, pipelineDepth*w.cfg.Capacity)
 	var tasks sync.WaitGroup
+	for i := 0; i < w.cfg.Capacity; i++ {
+		go func() {
+			var res Results
+			out := Message{Type: TypeResults, Results: &res}
+			for t := range taskq {
+				// During a ctx-initiated shutdown leftover tasks are skipped,
+				// not executed: the coordinator will obtain their results
+				// elsewhere.
+				if ctx.Err() == nil {
+					if cap(res.Results) == 0 {
+						res.Results = make([]TaskResult, 1)
+					}
+					res.Results = res.Results[:1]
+					res.Results[0] = w.execute(t)
+					if err := send(&out); err != nil {
+						// A result that cannot be delivered (encode or
+						// transport failure) must not strand the task: tear
+						// the session down so the coordinator re-dispatches
+						// it.
+						conn.Close()
+					}
+				}
+				tasks.Done()
+			}
+		}()
+	}
 	defer func() {
-		// A ctx-initiated shutdown is abrupt by design: in-flight tasks are
-		// pure functions whose results the coordinator will obtain elsewhere,
-		// so there is nothing worth draining. Transport-initiated exits wait,
-		// keeping RunLoop's reconnect from racing its own task goroutines.
+		// Stop the executors (the read loop is the only sender). A
+		// ctx-initiated shutdown is abrupt by design; transport-initiated
+		// exits wait for in-flight tasks, keeping RunLoop's reconnect from
+		// racing its own executors.
+		close(taskq)
 		if ctx.Err() == nil {
 			tasks.Wait()
 		}
 	}()
+	fr := NewFrameReader(conn, proto)
 	for {
 		var m Message
-		if err := ReadFrame(conn, &m); err != nil {
+		if err := fr.Read(&m); err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
@@ -165,20 +243,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		for _, t := range m.Dispatch.Tasks {
-			t := t
-			sema <- struct{}{}
 			tasks.Add(1)
-			go func() {
-				defer tasks.Done()
-				defer func() { <-sema }()
-				res := w.execute(t)
-				if err := send(&Message{Type: TypeResults, Results: &Results{Results: []TaskResult{res}}}); err != nil {
-					// A result that cannot be delivered (encode or transport
-					// failure) must not strand the task: tear the session
-					// down so the coordinator re-dispatches it.
-					conn.Close()
-				}
-			}()
+			taskq <- t
 		}
 	}
 }
@@ -259,18 +325,29 @@ func (w *Worker) execute(t Task) TaskResult {
 // costs one variate; a re-dispatched or out-of-order task replays the stream
 // from its seed, yielding the same bits.
 func (w *Worker) draw(seed int64, skip int) float64 {
+	// The global lock covers only the map lookup; the (possibly long) replay
+	// runs under the stream's own lock. A cache reset may orphan an entry
+	// another task still holds — harmless, both entries replay the same pure
+	// sequence.
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	sp, ok := w.streams[seed]
-	if !ok || sp.pos != skip {
+	if !ok {
 		if len(w.streams) >= maxCachedStreams {
 			w.streams = make(map[int64]*streamPos)
 		}
-		sp = &streamPos{rng: rand.New(rand.NewSource(seed))}
+		sp = &streamPos{}
+		w.streams[seed] = sp
+	}
+	w.mu.Unlock()
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.rng == nil || sp.pos != skip {
+		sp.rng = rand.New(rand.NewSource(seed))
+		sp.pos = 0
 		for ; sp.pos < skip; sp.pos++ {
 			sp.rng.NormFloat64()
 		}
-		w.streams[seed] = sp
 	}
 	z := sp.rng.NormFloat64()
 	sp.pos++

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/noise"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
 	"repro/internal/textplot"
@@ -77,6 +80,29 @@ type StepLatencyRun struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ProtoBenchRun is one row of the frame-codec microbench: encode+decode
+// throughput of representative dispatch and results frames under one codec.
+type ProtoBenchRun struct {
+	// Codec is the frame codec ("json" or "binary").
+	Codec string `json:"codec"`
+	// FramesPerSec is encode+decode round-trips per second.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// BytesPerFrame is the mean encoded frame size.
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+}
+
+// AllocRun is one row of the per-draw allocation study: the same 16-stream
+// sampling workload dispatched through the legacy per-closure Do path versus
+// the indexed DoN path that replaced it on the hot path.
+type AllocRun struct {
+	// Path names the dispatch mechanism ("closure-do" or "indexed-don").
+	Path string `json:"path"`
+	// AllocsPerDraw is heap allocations per sampling increment.
+	AllocsPerDraw float64 `json:"allocs_per_draw"`
+	// DrawsPerSec is sampling increments per second.
+	DrawsPerSec float64 `json:"draws_per_sec"`
+}
+
 // DistRun is one row of the distributed-fleet scaling study: the same batch
 // sequence as the sched rows, executed over remote worker agents (real TCP,
 // in-process endpoints) under the latency cost model.
@@ -115,6 +141,14 @@ type SchedScalingResult struct {
 	// DistDeterministic reports whether every fleet size produced estimates
 	// bitwise identical to the in-process runs.
 	DistDeterministic bool `json:"dist_deterministic"`
+	// Proto holds the frame-codec throughput rows (JSON fallback vs the
+	// binary codec, same message mix).
+	Proto []ProtoBenchRun `json:"proto_frames_per_sec"`
+	// ProtoSpeedup is binary frames/sec over JSON frames/sec.
+	ProtoSpeedup float64 `json:"proto_speedup"`
+	// Allocs holds the per-draw allocation rows (legacy closure dispatch vs
+	// the indexed zero-allocation path).
+	Allocs []AllocRun `json:"allocs_per_draw"`
 }
 
 func (r SchedRun) MarshalJSON() ([]byte, error) {
@@ -241,6 +275,112 @@ func distWorkload(agents, batch, rounds int, lat time.Duration) (float64, []floa
 	return elapsed, means, nil
 }
 
+// protoBenchMessages builds the representative frame mix of one coordinator
+// round-trip: a 16-task dispatch (dim 3, the bench workload's shape) and its
+// 16 results.
+func protoBenchMessages() []*dist.Message {
+	d := &dist.Dispatch{Tasks: make([]dist.Task, 16)}
+	r := &dist.Results{Results: make([]dist.TaskResult, 16)}
+	for i := range d.Tasks {
+		d.Tasks[i] = dist.Task{
+			ID:        uint64(i + 1),
+			Objective: "rosenbrock",
+			X:         []float64{float64(i%5) - 2, 1, 2},
+			Seed:      int64(1000 + i),
+			Skip:      i,
+			Dt:        0.1,
+		}
+		r.Results[i] = dist.TaskResult{ID: uint64(i + 1), Z: 0.25 * float64(i), F: 1.5 * float64(i)}
+	}
+	return []*dist.Message{
+		{Type: dist.TypeDispatch, Dispatch: d},
+		{Type: dist.TypeResults, Results: r},
+	}
+}
+
+// protoBenchWorkload times encode+decode round-trips of the representative
+// frame mix under one codec and returns frames/sec and mean bytes/frame.
+func protoBenchWorkload(proto dist.Proto, iters int) (fps, bytesPerFrame float64, err error) {
+	msgs := protoBenchMessages()
+	var buf bytes.Buffer
+	fw := dist.NewFrameWriter(&buf, proto)
+	fr := dist.NewFrameReader(&buf, proto)
+	// One unmeasured pass sizes the frames and warms the reused buffers.
+	for _, m := range msgs {
+		if err := fw.Write(m); err != nil {
+			return 0, 0, err
+		}
+	}
+	bytesPerFrame = float64(buf.Len()) / float64(len(msgs))
+	var m dist.Message
+	for range msgs {
+		if err := fr.Read(&m); err != nil {
+			return 0, 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, msg := range msgs {
+			if err := fw.Write(msg); err != nil {
+				return 0, 0, err
+			}
+			if err := fr.Read(&m); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(iters*len(msgs)) / elapsed, bytesPerFrame, nil
+}
+
+// allocWorkload measures heap allocations and throughput per sampling
+// increment for one dispatch path over 16 noise streams on a 4-worker pool:
+// the legacy shape (a fresh []func() of fresh closures per batch — one
+// allocation per draw before this was rewritten) versus the indexed DoN path
+// the sampling layer now uses.
+func allocWorkload(indexed bool, rounds int) AllocRun {
+	const nstreams = 16
+	pool := sched.New(sched.Config{Workers: 4})
+	defer pool.Close()
+	streams := make([]*noise.Stream, nstreams)
+	for i := range streams {
+		streams[i] = noise.NewStream(1.0, 0.5, sched.StreamSeed(9, int64(i)))
+	}
+	ctx := context.Background()
+	fn := func(i int) { streams[i].Sample(0.1) }
+	batch := func() {
+		if indexed {
+			pool.DoN(ctx, nstreams, fn)
+			return
+		}
+		tasks := make([]func(), nstreams)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { streams[i].Sample(0.1) }
+		}
+		pool.Do(ctx, tasks)
+	}
+	batch() // warm the pool before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		batch()
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	draws := float64(rounds * nstreams)
+	path := "closure-do"
+	if indexed {
+		path = "indexed-don"
+	}
+	return AllocRun{
+		Path:          path,
+		AllocsPerDraw: float64(after.Mallocs-before.Mallocs) / draws,
+		DrawsPerSec:   draws / elapsed,
+	}
+}
+
 // SchedScaling measures SampleAll wall time against the sched worker count
 // for both cost models and checks cross-worker determinism.
 func SchedScaling(opt Options) (*SchedScalingResult, error) {
@@ -320,6 +460,29 @@ func SchedScaling(opt Options) (*SchedScalingResult, error) {
 	for i := range res.Dist {
 		res.Dist[i].Speedup = res.Dist[0].Seconds / res.Dist[i].Seconds
 	}
+
+	// Frame-codec throughput: the wire work one coordinator round-trip costs
+	// under each codec, message mix matched to the fleet rows above.
+	protoIters := 20_000
+	if opt.Quick {
+		protoIters = 4_000
+	}
+	for _, proto := range []dist.Proto{dist.ProtoJSON, dist.ProtoBinary} {
+		fps, bpf, err := protoBenchWorkload(proto, protoIters)
+		if err != nil {
+			return nil, fmt.Errorf("proto bench (%s): %w", proto, err)
+		}
+		res.Proto = append(res.Proto, ProtoBenchRun{Codec: proto.String(), FramesPerSec: fps, BytesPerFrame: bpf})
+	}
+	res.ProtoSpeedup = res.Proto[1].FramesPerSec / res.Proto[0].FramesPerSec
+
+	// Per-draw allocations: the legacy closure-per-task dispatch versus the
+	// indexed DoN path the sampling layer now runs on.
+	allocRounds := 20_000
+	if opt.Quick {
+		allocRounds = 4_000
+	}
+	res.Allocs = []AllocRun{allocWorkload(false, allocRounds), allocWorkload(true, allocRounds)}
 	return res, nil
 }
 
@@ -381,5 +544,30 @@ func BenchSched(opt Options) (string, error) {
 	}
 	b.WriteString(textplot.Table(distHeader, distRows))
 	fmt.Fprintf(&b, "fleet estimates bitwise-identical to in-process runs: %v\n", res.DistDeterministic)
+
+	fmt.Fprintf(&b, "\nframe codecs: encode+decode of a 16-task dispatch + results round-trip\n")
+	protoHeader := []string{"codec", "frames/s", "bytes/frame"}
+	var protoRows [][]string
+	for _, r := range res.Proto {
+		protoRows = append(protoRows, []string{
+			r.Codec,
+			fmt.Sprintf("%.0f", r.FramesPerSec),
+			fmt.Sprintf("%.1f", r.BytesPerFrame),
+		})
+	}
+	b.WriteString(textplot.Table(protoHeader, protoRows))
+	fmt.Fprintf(&b, "binary over json: %.2fx frames/s\n", res.ProtoSpeedup)
+
+	fmt.Fprintf(&b, "\nper-draw allocations: 16-stream batches on a 4-worker pool\n")
+	allocHeader := []string{"dispatch path", "allocs/draw", "draws/s"}
+	var allocRows [][]string
+	for _, r := range res.Allocs {
+		allocRows = append(allocRows, []string{
+			r.Path,
+			fmt.Sprintf("%.3f", r.AllocsPerDraw),
+			fmt.Sprintf("%.0f", r.DrawsPerSec),
+		})
+	}
+	b.WriteString(textplot.Table(allocHeader, allocRows))
 	return b.String(), nil
 }

@@ -76,6 +76,27 @@ func (a *Accumulator) ApplyDraw(dt, z float64) {
 	a.n++
 }
 
+// ApplyDraws accrues len(zs) sampling increments of dt seconds each in one
+// call — the batched face of ApplyDraw. The scale factor sigma0*sqrt(dt) is
+// hoisted out of the loop and the Welford fold runs in one pass, but every
+// operation associates exactly as len(zs) sequential ApplyDraw calls would,
+// so the resulting state is bitwise identical. dt must be positive.
+func (a *Accumulator) ApplyDraws(dt float64, zs []float64) {
+	if len(zs) == 0 {
+		return
+	}
+	if dt <= 0 {
+		panic("noise: Sample requires dt > 0")
+	}
+	scale := a.sigma0 * math.Sqrt(dt)
+	for _, z := range zs {
+		a.w += scale * z
+		a.t += dt
+		a.z.Add(a.sigma0 * z)
+	}
+	a.n += len(zs)
+}
+
 // Mean returns the current running estimate of the objective value,
 // f + W(t)/t. Before any sampling it returns the underlying value (a point
 // that was never sampled carries no information; callers are expected to
@@ -199,6 +220,23 @@ func (s *Stream) ApplyDraw(dt, z float64) {
 	s.mu.Lock()
 	s.rng.NormFloat64()
 	s.Accumulator.ApplyDraw(dt, z)
+	s.mu.Unlock()
+}
+
+// ApplyDraws folds in len(zs) externally computed increments under a single
+// lock acquisition: the RNG fast-forwards by len(zs) discarded draws (keeping
+// the position == increment-count invariant) and the accumulator applies the
+// batch through Accumulator.ApplyDraws. Bitwise identical to len(zs)
+// sequential ApplyDraw calls.
+func (s *Stream) ApplyDraws(dt float64, zs []float64) {
+	if len(zs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for range zs {
+		s.rng.NormFloat64()
+	}
+	s.Accumulator.ApplyDraws(dt, zs)
 	s.mu.Unlock()
 }
 

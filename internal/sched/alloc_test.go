@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// This file is the allocation-budget regression layer over task dispatch.
+// DoN is the inner loop of every batch sample: its per-call overhead is paid
+// once per optimization iteration, and its per-task overhead once per point.
+// The budgets here fail the build if either regresses.
+
+// TestDoNSerialAllocFree pins the serial path (workers == 1) at zero
+// allocations per call, whatever n is: the loop must run entirely in the
+// caller's frame.
+func TestDoNSerialAllocFree(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.DoN(ctx, 64, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial DoN(64): %.1f allocs per call, want 0", allocs)
+	}
+}
+
+// TestDoNConcurrentAllocBudget bounds the concurrent path: the whole batch —
+// any n — must cost O(1) allocations (the batch header, its done channel and
+// one shared method value), never O(n). The budget is deliberately a little
+// above the measured cost so incidental runtime changes don't flake it, but
+// far below one-alloc-per-task.
+func TestDoNConcurrentAllocBudget(t *testing.T) {
+	const budget = 8
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	ctx := context.Background()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := s.DoN(ctx, 256, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("concurrent DoN(256): %.1f allocs per call, budget %d", allocs, budget)
+	}
+	t.Logf("concurrent DoN(256): %.1f allocs per call (budget %d)", allocs, budget)
+}

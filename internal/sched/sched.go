@@ -24,6 +24,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by Do when the scheduler has been closed.
@@ -203,18 +204,117 @@ dispatch:
 	return err
 }
 
+// nbatch is one DoN batch in flight: participants claim indices from a shared
+// atomic cursor, so the per-task dispatch cost is one atomic add instead of a
+// closure allocation and a channel handoff — the zero-allocation shape of the
+// per-draw hot path.
+type nbatch struct {
+	fn      func(int)
+	n       int64
+	ctx     context.Context
+	next    atomic.Int64
+	drained sync.Once
+	done    chan struct{} // closed when the last index is claimed
+	wg      sync.WaitGroup
+	box     panicBox
+}
+
+// run claims and executes indices until the batch is exhausted or its context
+// ends. It is the body every participant (pool worker) executes.
+func (b *nbatch) run() {
+	defer b.wg.Done()
+	for b.ctx.Err() == nil {
+		i := b.next.Add(1) - 1
+		if i >= b.n {
+			return
+		}
+		if i == b.n-1 {
+			b.drained.Do(func() { close(b.done) })
+		}
+		b.runOne(int(i))
+	}
+}
+
+// runOne executes one index, capturing a panic for re-raise on the caller.
+func (b *nbatch) runOne(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.box.capture(r)
+		}
+	}()
+	b.fn(i)
+}
+
 // DoN fans fn out over indices 0..n-1 as one batch. It is the common shape of
-// a sampling batch: index i samples point i.
+// a sampling batch: index i samples point i. Semantics match Do — serial
+// in-caller execution with Workers == 1 (or n == 1), cancellation checked
+// before every index, panics re-raised on the caller — but dispatch is
+// index-claiming rather than per-task closures: up to Workers pool
+// goroutines each pull indices off one shared cursor, so a batch costs a
+// handful of allocations regardless of n instead of O(n) closures. Unlike
+// Do, a mid-batch cancellation may skip any subset of the remaining indices
+// (participants stop claiming independently); as with Do, the caller cannot
+// assume which of the remaining tasks ran.
 func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	tasks := make([]func(), n)
-	for i := 0; i < n; i++ {
-		i := i
-		tasks[i] = func() { fn(i) }
+	if s.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			select {
+			case <-s.quit:
+				return ErrClosed
+			default:
+			}
+			fn(i)
+		}
+		return nil
 	}
-	return s.Do(ctx, tasks)
+
+	s.start()
+	b := &nbatch{fn: fn, n: int64(n), ctx: ctx, done: make(chan struct{})}
+	participants := s.workers
+	if n < participants {
+		participants = n
+	}
+	run := b.run
+	var err error
+dispatch:
+	for i := 0; i < participants; i++ {
+		b.wg.Add(1)
+		select {
+		case s.queue <- run:
+		case <-b.done:
+			// Every index is already claimed; further participants would
+			// find nothing to do.
+			b.wg.Done()
+			break dispatch
+		case <-ctx.Done():
+			b.wg.Done()
+			err = ctx.Err()
+			break dispatch
+		case <-s.quit:
+			b.wg.Done()
+			err = ErrClosed
+			break dispatch
+		}
+	}
+	b.wg.Wait()
+	b.box.mu.Lock()
+	val, set := b.box.val, b.box.set
+	b.box.mu.Unlock()
+	if set {
+		panic(val)
+	}
+	if err == nil && b.next.Load() < b.n {
+		// Participants bailed on a canceled context before claiming every
+		// index.
+		err = ctx.Err()
+	}
+	return err
 }
 
 // StreamSeed derives the RNG seed of stream number stream from a base seed

@@ -137,8 +137,9 @@ func SampleAdaptive(ctx context.Context, space Space, points []Point, dt0 float6
 		return 0, err
 	}
 	dt := dt0 * plan.grow()
+	var pending []Point // reused across rounds; each round only shrinks it
 	for rounds < plan.MaxRounds {
-		var pending []Point
+		pending = pending[:0]
 		for _, pt := range points {
 			if !plan.resolved(pt) {
 				pending = append(pending, pt)

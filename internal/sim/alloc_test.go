@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSampleBatchAllocBudget is the allocation budget on the in-process
+// batch sampling path: one batch of any width must cost O(1) allocations —
+// the scheduler's batch header plus the dispatch closure — never O(points).
+// Serial spaces (Workers: 1) pay exactly the one closure.
+func TestSampleBatchAllocBudget(t *testing.T) {
+	ctx := context.Background()
+	points := func(s *LocalSpace, n int) []Point {
+		ps := make([]Point, n)
+		for i := range ps {
+			ps[i] = s.NewPoint([]float64{0.5, -0.25})
+		}
+		return ps
+	}
+
+	t.Run("serial", func(t *testing.T) {
+		s := NewLocalSpace(LocalConfig{Dim: 2, F: func(x []float64) float64 { return x[0] * x[0] }, Sigma0: ConstSigma(0.5), Seed: 3, Workers: 1})
+		defer s.Close()
+		ps := points(s, 16)
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := s.SampleBatch(ctx, ps, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The single allocation is the indexed dispatch closure handed to
+		// the pool; it is batch-scoped, so the per-point cost is zero.
+		if allocs > 1 {
+			t.Errorf("serial SampleBatch(16): %.1f allocs per call, want <= 1", allocs)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		const budget = 10
+		s := NewLocalSpace(LocalConfig{Dim: 2, F: func(x []float64) float64 { return x[0] * x[0] }, Sigma0: ConstSigma(0.5), Seed: 3, Workers: 4})
+		defer s.Close()
+		ps := points(s, 64)
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := s.SampleBatch(ctx, ps, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("concurrent SampleBatch(64): %.1f allocs per call, budget %d", allocs, budget)
+		}
+		t.Logf("concurrent SampleBatch(64): %.1f allocs per call (budget %d)", allocs, budget)
+	})
+}

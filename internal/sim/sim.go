@@ -285,15 +285,34 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 	if len(points) == 0 {
 		return ctx.Err()
 	}
-	lps := s.checkBatch(points)
 	if s.cfg.Fleet != nil {
-		return s.sampleFleet(ctx, lps, dt, nil)
+		return s.sampleFleet(ctx, s.checkBatch(points), dt, nil)
 	}
-	if err := s.pool.DoN(ctx, len(lps), func(i int) { lps[i].sample(dt) }); err != nil {
+	// The in-process hot path validates in place and dispatches by index —
+	// no []*localPoint staging slice, so a batch costs one closure plus the
+	// pool's fixed dispatch overhead regardless of size.
+	s.validateBatch(points)
+	if err := s.pool.DoN(ctx, len(points), func(i int) {
+		points[i].(*localPoint).sample(dt)
+	}); err != nil {
 		return err
 	}
 	s.advanceBatch(len(points), dt)
 	return nil
+}
+
+// validateBatch asserts every point is a live localPoint, without building
+// the typed slice the fleet path needs.
+func (s *LocalSpace) validateBatch(points []Point) {
+	for _, p := range points {
+		lp, ok := p.(*localPoint)
+		if !ok {
+			panic("sim: SampleAll received a foreign Point")
+		}
+		if lp.closed {
+			panic("sim: Sample on closed point")
+		}
+	}
 }
 
 // checkBatch asserts every point is a live localPoint of this space.

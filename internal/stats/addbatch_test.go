@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWelfordAddBatchMatchesSequentialProperty pins AddBatch's contract: it
+// must be bitwise indistinguishable from feeding the same values through Add
+// one at a time — same count, same mean bits, same variance bits — for any
+// sequence and any split into batches. The batched sampling path (fleet
+// results, zero-alloc local batches) depends on this for the repo-wide
+// bitwise-determinism guarantee.
+func TestWelfordAddBatchMatchesSequentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	prop := func() bool {
+		xs := randSeq(rng)
+		var seq, bat Welford
+		for _, x := range xs {
+			seq.Add(x)
+		}
+		// Feed the batched accumulator the same sequence in random chunks.
+		for lo := 0; lo < len(xs); {
+			hi := lo + rng.Intn(len(xs)-lo+1)
+			bat.AddBatch(xs[lo:hi])
+			lo = hi
+		}
+		return seq.N() == bat.N() &&
+			math.Float64bits(seq.Mean()) == math.Float64bits(bat.Mean()) &&
+			math.Float64bits(seq.Variance()) == math.Float64bits(bat.Variance())
+	}
+	if err := quick.Check(prop, quickCfg(78, 300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWelfordAddBatchEmpty checks the zero-length batch is a no-op.
+func TestWelfordAddBatchEmpty(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	before := w
+	w.AddBatch(nil)
+	w.AddBatch([]float64{})
+	if w != before {
+		t.Fatalf("empty AddBatch changed state: %+v -> %+v", before, w)
+	}
+}
+
+// TestWelfordAllocFree is the allocation budget on the per-draw statistics
+// update: both the scalar and the batched fold must not allocate.
+func TestWelfordAllocFree(t *testing.T) {
+	var w Welford
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if allocs := testing.AllocsPerRun(200, func() { w.Add(1.5) }); allocs != 0 {
+		t.Errorf("Welford.Add: %.1f allocs per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { w.AddBatch(xs) }); allocs != 0 {
+		t.Errorf("Welford.AddBatch: %.1f allocs per call, want 0", allocs)
+	}
+}

@@ -201,6 +201,23 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// AddBatch folds a slice of observations in one call, the batched face of
+// Add for hot loops: the moments stay in registers across the slice instead
+// of a load/store round-trip per observation. The fold is the exact
+// sequential recurrence of Add — batching changes call overhead, never
+// arithmetic — so the result is bitwise identical to adding the observations
+// one at a time, which is what the determinism contract requires.
+func (w *Welford) AddBatch(xs []float64) {
+	n, mean, m2 := w.n, w.mean, w.m2
+	for _, x := range xs {
+		n++
+		d := x - mean
+		mean += d / float64(n)
+		m2 += d * (x - mean)
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 

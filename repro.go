@@ -262,8 +262,8 @@ type (
 	// FleetCoordinator owns the fleet: registration, dispatch, heartbeats,
 	// deterministic re-dispatch. Create with NewFleetCoordinator.
 	FleetCoordinator = dist.Coordinator
-	// FleetCoordinatorConfig configures the coordinator (heartbeat interval
-	// and death timeout).
+	// FleetCoordinatorConfig configures the coordinator (heartbeat interval,
+	// death timeout, frame-codec ceiling).
 	FleetCoordinatorConfig = dist.Config
 	// FleetStatus is the coordinator's aggregate state (the "fleet" section
 	// of optd's /healthz).
