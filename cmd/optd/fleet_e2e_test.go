@@ -30,14 +30,7 @@ func TestOptdFleetProcessE2E(t *testing.T) {
 	if proto == "" {
 		proto = "binary"
 	}
-	bin := t.TempDir()
-	for _, target := range []string{"optd", "optworker"} {
-		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, target), "./cmd/"+target)
-		cmd.Dir = "../.."
-		if out, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("build %s: %v\n%s", target, err, out)
-		}
-	}
+	bin := buildFleetBinaries(t)
 
 	// Launch optd with both listeners on ephemeral ports and parse the
 	// actual addresses from its stdout.

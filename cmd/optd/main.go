@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -58,13 +59,18 @@ func main() {
 	fmt.Printf("optd starting: addr=%s fleet-addr=%q seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
 		*addr, *fleetAddr, *seed, *maxConc, *workers, *ckptDir)
 
+	// Structured NDJSON event log on stderr: worker lifecycle, job state
+	// transitions, checkpoint writes. stdout keeps the human startup lines
+	// (scripts and the e2e harness parse those).
+	events := obs.NewLogger(os.Stderr)
+
 	var fleet *dist.Coordinator
 	var fleetSampler sim.FleetSampler // typed nil must stay nil in the config
 	if *fleetAddr != "" {
 		if _, err := dist.ParseProto(*fleetProto); err != nil {
 			fatal(err)
 		}
-		fleet = dist.NewCoordinator(dist.Config{Protocol: *fleetProto})
+		fleet = dist.NewCoordinator(dist.Config{Protocol: *fleetProto, Events: events})
 		if err := fleet.Listen(*fleetAddr); err != nil {
 			fatal(err)
 		}
@@ -80,6 +86,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		TraceBuffer:     *traceBufSz,
 		Fleet:           fleetSampler,
+		Events:          events,
 	})
 	if err != nil {
 		fatal(err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // server adapts a jobs.Manager to HTTP/JSON. Endpoints:
@@ -26,6 +27,8 @@ import (
 //	GET    /v1/jobs/{id}/trace   NDJSON stream of progress events
 //	POST   /v1/jobs/{id}/cancel  request cancellation
 //	DELETE /v1/jobs/{id}         request cancellation (alias)
+//	GET    /metrics              Prometheus text exposition of the obs registry
+//	GET    /debug/pprof/...      net/http/pprof profiles
 //
 // A known path with the wrong method returns 405 with an Allow header and a
 // JSON error body, so load balancers and clients see a structured answer
@@ -55,6 +58,7 @@ func newServer(mgr *jobs.Manager, fleet *dist.Coordinator, defaultSeed int64) ht
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	obs.Default().RegisterDebug(mux)
 	// Method-less fallbacks: less specific than the method patterns above,
 	// they match only requests whose method is not served on that path.
 	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
@@ -64,6 +68,7 @@ func newServer(mgr *jobs.Manager, fleet *dist.Coordinator, defaultSeed int64) ht
 	mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
 	mux.HandleFunc("/v1/jobs/{id}/trace", methodNotAllowed("GET"))
 	mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
+	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
 	return mux
 }
 
@@ -135,6 +140,7 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	if s.fleet != nil {
 		body["fleet"] = s.fleet.Status()
 	}
+	body["metrics"] = obs.Default().Snapshot()
 	writeJSON(w, http.StatusOK, body)
 }
 

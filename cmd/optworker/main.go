@@ -15,6 +15,12 @@
 // The -latency and -spin flags add a simulated per-task cost, standing in
 // for the expensive simulation (an MD trajectory segment in the paper's
 // TIP4P study) a real deployment would run here.
+//
+// With -debug-addr the agent opens a debug listener serving GET /metrics
+// (Prometheus text exposition of the agent's obs registry: frames and bytes
+// per codec, sessions, tasks executed) and the net/http/pprof profiles.
+// Structured NDJSON events (codec_negotiated, session_end, worker_fatal) go
+// to stderr.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,25 +37,62 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
+)
+
+// Exit codes: startup misconfiguration fails fast with a distinct code and a
+// structured worker_fatal event, so a supervisor can tell "fix the flags"
+// from "the session died".
+const (
+	exitSession   = 1 // a session error with -once, or a debug-listener failure
+	exitBadProto  = 2 // invalid -proto value
+	exitBadTarget = 3 // -connect address does not resolve
 )
 
 func main() {
 	var (
-		connect  = flag.String("connect", "localhost:9090", "coordinator fleet address")
-		name     = flag.String("name", hostname(), "worker label in fleet status")
-		capacity = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent task capacity")
-		latency  = flag.Duration("latency", 0, "simulated wait per task (models an external simulation)")
-		spin     = flag.Int("spin", 0, "simulated CPU burn per task (floating-point ops)")
-		once     = flag.Bool("once", false, "exit on disconnect instead of reconnecting")
-		proto    = flag.String("proto", "auto", "frame codec: auto (offer binary, accept fallback), binary (require binary), json (stay on the JSON fallback)")
+		connect   = flag.String("connect", "localhost:9090", "coordinator fleet address")
+		name      = flag.String("name", hostname(), "worker label in fleet status")
+		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent task capacity")
+		latency   = flag.Duration("latency", 0, "simulated wait per task (models an external simulation)")
+		spin      = flag.Int("spin", 0, "simulated CPU burn per task (floating-point ops)")
+		once      = flag.Bool("once", false, "exit on disconnect instead of reconnecting")
+		proto     = flag.String("proto", "auto", "frame codec: auto (offer binary, accept fallback), binary (require binary), json (stay on the JSON fallback)")
+		debugAddr = flag.String("debug-addr", "", "debug listener address serving /metrics and /debug/pprof (empty = none)")
 	)
 	flag.Parse()
-	if *proto != "auto" && *proto != "binary" && *proto != "json" {
-		fmt.Fprintf(os.Stderr, "optworker: invalid -proto %q (want auto, binary or json)\n", *proto)
-		os.Exit(2)
+
+	// Structured NDJSON event log on stderr; stdout keeps the human startup
+	// lines.
+	events := obs.NewLogger(os.Stderr)
+
+	if *proto != "auto" {
+		if _, err := dist.ParseProto(*proto); err != nil {
+			events.Event("worker_fatal", "err", err, "flag", "-proto")
+			fmt.Fprintf(os.Stderr, "optworker: invalid -proto %q (want auto, binary or json)\n", *proto)
+			os.Exit(exitBadProto)
+		}
+	}
+	// Resolve the coordinator address up front: a typo'd -connect must fail
+	// loudly at startup, not spin silently in the reconnect loop forever.
+	if _, err := net.ResolveTCPAddr("tcp", *connect); err != nil {
+		events.Event("worker_fatal", "err", err, "flag", "-connect")
+		fmt.Fprintf(os.Stderr, "optworker: cannot resolve -connect %q: %v\n", *connect, err)
+		os.Exit(exitBadTarget)
 	}
 	fmt.Printf("optworker starting: connect=%s name=%s capacity=%d latency=%s spin=%d proto=%s\n",
 		*connect, *name, *capacity, *latency, *spin, *proto)
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			events.Event("worker_fatal", "err", err, "flag", "-debug-addr")
+			fmt.Fprintf(os.Stderr, "optworker: debug listener: %v\n", err)
+			os.Exit(exitSession)
+		}
+		fmt.Printf("optworker debug listening on %s (/metrics, /debug/pprof)\n", ln.Addr())
+		go http.Serve(ln, obs.Default().DebugMux())
+	}
 
 	w := dist.NewWorker(dist.WorkerConfig{
 		Addr:       *connect,
@@ -55,9 +100,7 @@ func main() {
 		Capacity:   *capacity,
 		Protocol:   *proto,
 		SampleCost: cost(*latency, *spin),
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+		Events:     events,
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -76,8 +119,9 @@ func main() {
 		err = w.RunLoop(ctx)
 	}
 	if err != nil {
+		events.Event("worker_fatal", "err", err)
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitSession)
 	}
 }
 

@@ -6,8 +6,26 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vtime"
+)
+
+// Optimizer metrics (obs registry): iteration throughput, the simplex
+// move mix, and discarded speculative evaluations. Move counters are
+// indexed by Move so the per-iteration cost is two atomic adds.
+var (
+	mIterations = obs.Default().Counter("core_iterations_total",
+		"simplex iterations completed across all runs")
+	mMoves = [...]*obs.Counter{
+		MoveNone:     obs.Default().Counter(`core_moves_total{move="none"}`, "iterations by applied simplex transformation"),
+		MoveReflect:  obs.Default().Counter(`core_moves_total{move="reflect"}`),
+		MoveExpand:   obs.Default().Counter(`core_moves_total{move="expand"}`),
+		MoveContract: obs.Default().Counter(`core_moves_total{move="contract"}`),
+		MoveCollapse: obs.Default().Counter(`core_moves_total{move="collapse"}`),
+	}
+	mSpecWaste = obs.Default().Counter("core_speculative_waste_total",
+		"prefetched speculative candidate evaluations discarded unused")
 )
 
 // Optimize runs the configured stochastic simplex on the given space starting
@@ -124,6 +142,10 @@ func (o *optimizer) run() (*Result, error) {
 			return nil, err
 		}
 		o.res.Iterations++
+		mIterations.Inc()
+		if int(o.lastMove) < len(mMoves) {
+			mMoves[o.lastMove].Inc()
+		}
 		o.stepOverhead()
 		o.emitTrace()
 		if err := o.emitCheckpoint(); err != nil {

@@ -246,6 +246,7 @@ func (cs *candidateSet) discardPoint(p sim.Point) {
 	p.Close()
 	if cs.speculated {
 		cs.o.res.SpeculativeWaste++
+		mSpecWaste.Inc()
 	}
 }
 

@@ -484,8 +484,11 @@ func (fw *FrameWriter) Write(m *Message) error {
 		return err
 	}
 	fw.buf = buf
-	_, err = fw.w.Write(buf)
-	return err
+	if _, err = fw.w.Write(buf); err != nil {
+		return err
+	}
+	countFrameTx(ProtoBinary, len(buf))
+	return nil
 }
 
 // FrameReader reads frames in one negotiated codec, reusing a single body
@@ -530,5 +533,9 @@ func (fr *FrameReader) Read(m *Message) error {
 		}
 		return err
 	}
-	return decodeBinaryFrame(body, m)
+	if err := decodeBinaryFrame(body, m); err != nil {
+		return err
+	}
+	countFrameRx(ProtoBinary, 4+int(n))
+	return nil
 }

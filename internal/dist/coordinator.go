@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,10 @@ type Config struct {
 	// "json" forces every session onto the JSON fallback. Codecs never affect
 	// results, only bytes and cycles.
 	Protocol string
+	// Events, when non-nil, receives structured fleet events: worker_join
+	// (with the negotiated codec), worker_death and redispatch. A nil
+	// logger discards them.
+	Events *obs.Logger
 }
 
 func (c *Config) normalize() {
@@ -116,6 +121,7 @@ type task struct {
 	idx  int           // result slot in the owning batch
 	w    *remoteWorker // nil while queued
 	done bool          // completed or abandoned; skip if popped
+	sent time.Time     // latest dispatch time, for the RTT histogram; zero if untracked
 }
 
 // batch is one SampleFleet call in flight.
@@ -278,6 +284,10 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	}
 	c.workers[w.id] = w
 	c.mu.Unlock()
+	mWorkersGauge.Inc()
+	c.cfg.Events.Event("worker_join",
+		"worker", w.id, "name", name, "capacity", capacity,
+		"proto", proto, "remote", conn.RemoteAddr())
 
 	// The welcome is the last JSON frame of a binary session: it announces the
 	// codec every later frame uses.
@@ -343,7 +353,9 @@ func (c *Coordinator) reader(w *remoteWorker) {
 			return
 		}
 		c.mu.Lock()
-		w.lastSeen = time.Now()
+		now := time.Now()
+		mHeartbeatGap.Observe(now.Sub(w.lastSeen).Seconds())
+		w.lastSeen = now
 		if m.Type == TypeResults && m.Results != nil {
 			c.applyResultsLocked(m.Results.Results)
 		}
@@ -374,6 +386,10 @@ func (c *Coordinator) applyResultsLocked(results []TaskResult) {
 		t.b.res[t.idx] = sim.FleetResult{Z: r.Z, F: r.F}
 		t.b.pending--
 		c.completed++
+		mTasksCompleted.Inc()
+		if !t.sent.IsZero() {
+			mRTT.Observe(time.Since(t.sent).Seconds())
+		}
 		if t.b.pending == 0 && t.b.err == nil {
 			close(t.b.ready)
 		}
@@ -429,6 +445,7 @@ func (c *Coordinator) abandonBatchLocked(b *batch) {
 // plus a queued reserve that hides the dispatch round-trip. Which worker
 // executes a task never affects its value — only when it lands.
 func (c *Coordinator) dispatchLocked() {
+	defer func() { mQueueDepth.Set(float64(c.queue.Len())) }()
 	for c.queue.Len() > 0 {
 		var best *remoteWorker
 		free := 0
@@ -448,6 +465,9 @@ func (c *Coordinator) dispatchLocked() {
 			continue
 		}
 		t.w = best
+		if obs.Enabled() {
+			t.sent = time.Now()
+		}
 		best.outstanding[t.id] = t
 		select {
 		case best.sendq <- t.wire:
@@ -478,12 +498,15 @@ func (c *Coordinator) killWorker(w *remoteWorker, reason string) {
 	w.conn.Close()
 	delete(c.workers, w.id)
 	c.deadWorkers++
+	mWorkerDeaths.Inc()
+	mWorkersGauge.Dec()
 	orphans := make([]*task, 0, len(w.outstanding))
 	for _, t := range w.outstanding {
 		orphans = append(orphans, t)
 	}
 	w.outstanding = nil
 	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
+	requeued := 0
 	for _, t := range orphans {
 		if t.done {
 			continue
@@ -491,9 +514,15 @@ func (c *Coordinator) killWorker(w *remoteWorker, reason string) {
 		t.w = nil
 		heap.Push(&c.queue, t)
 		c.requeued++
+		requeued++
 	}
+	mRedispatch.Add(int64(requeued))
 	c.dispatchLocked()
 	c.mu.Unlock()
+	c.cfg.Events.Event("worker_death", "worker", w.id, "reason", reason, "requeued", requeued)
+	if requeued > 0 {
+		c.cfg.Events.Event("redispatch", "worker", w.id, "tasks", requeued)
+	}
 }
 
 // janitor enforces the heartbeat timeout.

@@ -191,8 +191,11 @@ func WriteFrame(w io.Writer, m *Message) error {
 	buf := make([]byte, 4+len(body))
 	binary.BigEndian.PutUint32(buf, uint32(len(body)))
 	copy(buf[4:], body)
-	_, err = w.Write(buf)
-	return err
+	if _, err = w.Write(buf); err != nil {
+		return err
+	}
+	countFrameTx(ProtoJSON, len(buf))
+	return nil
 }
 
 // ReadFrame decodes the next frame into m. It returns io.EOF on a clean
@@ -217,5 +220,6 @@ func ReadFrame(r io.Reader, m *Message) error {
 	if err := json.Unmarshal(body, m); err != nil {
 		return fmt.Errorf("dist: decode frame: %w", err)
 	}
+	countFrameRx(ProtoJSON, 4+int(n))
 	return nil
 }

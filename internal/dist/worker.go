@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/testfunc"
 )
 
@@ -41,8 +42,13 @@ type WorkerConfig struct {
 	// Dial overrides the connection to the coordinator (tests); nil dials
 	// Addr over TCP.
 	Dial func(ctx context.Context) (net.Conn, error)
-	// Logf, if non-nil, receives operational messages (session failures,
-	// reconnect delays). cmd/optworker wires it to stdout; nil is silent.
+	// Events, when non-nil, receives structured agent events
+	// (codec_negotiated after each handshake, session_end with the error
+	// and reconnect delay). Takes precedence over Logf.
+	Events *obs.Logger
+	// Logf, if non-nil and Events is nil, receives the same events
+	// rendered as flat printf lines — the legacy sink, kept so existing
+	// call sites compile and keep their output. nil is silent.
 	Logf func(format string, args ...any)
 }
 
@@ -52,6 +58,7 @@ type WorkerConfig struct {
 // die, or rejoin at any point of any run without affecting results.
 type Worker struct {
 	cfg        WorkerConfig
+	events     *obs.Logger // cfg.Events, or cfg.Logf wrapped; nil-safe
 	objectives map[string]func([]float64) float64
 
 	// streams caches RNG positions per stream seed, so consecutive draws of
@@ -95,6 +102,10 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		}
 	}
 	w := &Worker{cfg: cfg, streams: make(map[int64]*streamPos)}
+	w.events = cfg.Events
+	if w.events == nil {
+		w.events = obs.NewFuncLogger(cfg.Logf)
+	}
 	w.objectives = cfg.Objectives
 	if w.objectives == nil {
 		w.objectives = make(map[string]func([]float64) float64, len(testfunc.Catalog))
@@ -153,6 +164,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	if heartbeat <= 0 {
 		heartbeat = time.Second
 	}
+	mWorkerSessions.Inc()
+	w.events.Event("codec_negotiated",
+		"worker", m.Welcome.Worker, "proto", proto, "heartbeat", heartbeat)
 
 	fw := NewFrameWriter(conn, proto)
 	var sendMu sync.Mutex
@@ -269,14 +283,12 @@ func (w *Worker) RunLoop(ctx context.Context) error {
 		if time.Since(start) > time.Second {
 			backoff = minBackoff // the session was healthy; this is a fresh outage
 		}
-		if w.cfg.Logf != nil {
-			// A permanently failing session (wrong port, protocol mismatch)
-			// must leave a trail, not just an empty fleet roster.
-			if err == nil {
-				err = errors.New("connection closed")
-			}
-			w.cfg.Logf("dist: worker session ended: %v (reconnecting in %s)", err, backoff)
+		// A permanently failing session (wrong port, protocol mismatch)
+		// must leave a trail, not just an empty fleet roster.
+		if err == nil {
+			err = errors.New("connection closed")
 		}
+		w.events.Event("session_end", "err", err, "reconnect_in", backoff)
 		select {
 		case <-ctx.Done():
 			return nil
@@ -302,6 +314,7 @@ func (w *Worker) dial(ctx context.Context) (net.Conn, error) {
 // being farmed out), the optional simulated sampling cost, and the
 // deterministic draw.
 func (w *Worker) execute(t Task) TaskResult {
+	mWorkerTasks.Inc()
 	obj, ok := w.objectives[t.Objective]
 	if !ok {
 		return TaskResult{ID: t.ID, Err: fmt.Sprintf("unknown objective %q", t.Objective)}

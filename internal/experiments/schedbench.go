@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
@@ -103,6 +104,17 @@ type AllocRun struct {
 	DrawsPerSec float64 `json:"draws_per_sec"`
 }
 
+// ObsOverheadRun is one row of the instrumentation-overhead study: the CPU
+// cost model's batch workload with the obs hot path live (instrumented)
+// versus obs.SetEnabled(false) (stripped — the counters' Enabled() gates
+// short-circuit, removing even the time.Now pairs).
+type ObsOverheadRun struct {
+	// Mode is "instrumented" or "stripped".
+	Mode string `json:"mode"`
+	// DrawsPerSec is sampling increments per second.
+	DrawsPerSec float64 `json:"draws_per_sec"`
+}
+
 // DistRun is one row of the distributed-fleet scaling study: the same batch
 // sequence as the sched rows, executed over remote worker agents (real TCP,
 // in-process endpoints) under the latency cost model.
@@ -149,6 +161,11 @@ type SchedScalingResult struct {
 	// Allocs holds the per-draw allocation rows (legacy closure dispatch vs
 	// the indexed zero-allocation path).
 	Allocs []AllocRun `json:"allocs_per_draw"`
+	// ObsOverhead compares the CPU-model workload with the obs metrics hot
+	// path live versus disabled; ObsOverheadPct is the instrumented
+	// slowdown in percent of the stripped throughput (acceptance: < 2).
+	ObsOverhead    []ObsOverheadRun `json:"obs_overhead"`
+	ObsOverheadPct float64          `json:"obs_overhead_pct"`
 }
 
 func (r SchedRun) MarshalJSON() ([]byte, error) {
@@ -381,6 +398,20 @@ func allocWorkload(indexed bool, rounds int) AllocRun {
 	}
 }
 
+// obsOverheadWorkload times the CPU-model batch workload with the obs hot
+// path toggled and returns the row plus the sampled means (instrumentation
+// must not move a bit of them).
+func obsOverheadWorkload(enabled bool, batch, rounds, spin int) (ObsOverheadRun, []float64) {
+	obs.SetEnabled(enabled)
+	defer obs.SetEnabled(true)
+	sec, means := schedWorkload(4, batch, rounds, SpinCost(spin))
+	mode := "stripped"
+	if enabled {
+		mode = "instrumented"
+	}
+	return ObsOverheadRun{Mode: mode, DrawsPerSec: float64(batch*rounds) / sec}, means
+}
+
 // SchedScaling measures SampleAll wall time against the sched worker count
 // for both cost models and checks cross-worker determinism.
 func SchedScaling(opt Options) (*SchedScalingResult, error) {
@@ -483,6 +514,29 @@ func SchedScaling(opt Options) (*SchedScalingResult, error) {
 		allocRounds = 4_000
 	}
 	res.Allocs = []AllocRun{allocWorkload(false, allocRounds), allocWorkload(true, allocRounds)}
+
+	// Instrumentation overhead: the same CPU-model workload with the obs
+	// metrics live versus stripped. The estimates must stay bitwise
+	// identical — the metrics read no randomness and steer no control flow.
+	// Interleaved best-of-3 per mode, so scheduler and thermal noise does
+	// not masquerade as instrumentation cost.
+	instr := ObsOverheadRun{Mode: "instrumented"}
+	stripped := ObsOverheadRun{Mode: "stripped"}
+	for trial := 0; trial < 3; trial++ {
+		for _, best := range []*ObsOverheadRun{&instr, &stripped} {
+			row, means := obsOverheadWorkload(best.Mode == "instrumented", batch, rounds, spin)
+			for i := range means {
+				if means[i] != baseMeans[i] {
+					res.Deterministic = false
+				}
+			}
+			if row.DrawsPerSec > best.DrawsPerSec {
+				best.DrawsPerSec = row.DrawsPerSec
+			}
+		}
+	}
+	res.ObsOverhead = []ObsOverheadRun{instr, stripped}
+	res.ObsOverheadPct = (1 - instr.DrawsPerSec/stripped.DrawsPerSec) * 100
 	return res, nil
 }
 
@@ -569,5 +623,14 @@ func BenchSched(opt Options) (string, error) {
 		})
 	}
 	b.WriteString(textplot.Table(allocHeader, allocRows))
+
+	fmt.Fprintf(&b, "\ninstrumentation overhead: CPU-model batches, obs metrics live vs stripped\n")
+	obsHeader := []string{"mode", "draws/s"}
+	var obsRows [][]string
+	for _, r := range res.ObsOverhead {
+		obsRows = append(obsRows, []string{r.Mode, fmt.Sprintf("%.0f", r.DrawsPerSec)})
+	}
+	b.WriteString(textplot.Table(obsHeader, obsRows))
+	fmt.Fprintf(&b, "instrumented slowdown: %.3f%%\n", res.ObsOverheadPct)
 	return b.String(), nil
 }

@@ -38,8 +38,38 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
+)
+
+// Job-lifecycle metrics (obs registry): state-transition counters, pool
+// occupancy gauges and per-state duration histograms. All are updated at
+// lifecycle transitions under the manager mutex, far off the sampling
+// hot path.
+var (
+	mSubmitted = obs.Default().Counter("jobs_submitted_total",
+		"jobs accepted by Submit")
+	mRecovered = obs.Default().Counter("jobs_recovered_total",
+		"jobs re-enqueued from durable checkpoints by Recover")
+	mCompleted = obs.Default().Counter("jobs_completed_total",
+		"jobs that terminated done")
+	mFailed = obs.Default().Counter("jobs_failed_total",
+		"jobs that terminated failed")
+	mCanceled = obs.Default().Counter("jobs_canceled_total",
+		"jobs that terminated canceled")
+	mQueuedGauge = obs.Default().Gauge("jobs_queued",
+		"jobs currently waiting for a run-pool slot")
+	mRunningGauge = obs.Default().Gauge("jobs_running",
+		"jobs currently executing (run-pool occupancy)")
+	mQueueSeconds = obs.Default().Histogram("jobs_queue_seconds", nil,
+		"time jobs spent queued before starting")
+	mRunSeconds = obs.Default().Histogram("jobs_run_seconds", nil,
+		"wall-clock run duration of terminal jobs")
+	mCkptWrites = obs.Default().Counter("jobs_checkpoint_writes_total",
+		"durable checkpoint snapshots persisted")
+	mCkptErrors = obs.Default().Counter("jobs_checkpoint_errors_total",
+		"checkpoint writes that failed (run continues without durability)")
 )
 
 // State is a job's lifecycle state.
@@ -137,6 +167,10 @@ type Config struct {
 	// pool. The manager does not own the fleet; the caller (cmd/optd)
 	// creates and closes it.
 	Fleet sim.FleetSampler
+	// Events, when non-nil, receives structured lifecycle events
+	// (job_state transitions, checkpoint writes and failures). A nil
+	// logger discards them.
+	Events *obs.Logger
 }
 
 func (c *Config) normalize() {
@@ -288,6 +322,13 @@ func (m *Manager) enqueueLocked(id string, spec Spec, resume *core.Snapshot) *jo
 	}
 	m.jobs[id] = j
 	m.queue = append(m.queue, j)
+	if resume != nil {
+		mRecovered.Inc()
+	} else {
+		mSubmitted.Inc()
+	}
+	mQueuedGauge.Inc()
+	m.cfg.Events.Event("job_state", "job", id, "state", StateQueued, "resumed", resume != nil)
 	m.cond.Signal()
 	return j
 }
@@ -314,6 +355,10 @@ func (m *Manager) runner() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
+		mQueuedGauge.Dec()
+		mRunningGauge.Inc()
+		mQueueSeconds.Observe(j.started.Sub(j.created).Seconds())
+		m.cfg.Events.Event("job_state", "job", j.id, "state", StateRunning)
 		m.publishLocked(j, Event{JobID: j.id, Type: "state", State: StateRunning})
 		m.mu.Unlock()
 
@@ -381,10 +426,15 @@ func (m *Manager) execute(j *job) (res *core.Result, err error) {
 			// A checkpoint that cannot be written must not kill the run; the
 			// job just loses durability from this point on. Surfaced as
 			// Status.CheckpointError, distinct from a run failure.
+			mCkptErrors.Inc()
+			m.cfg.Events.Event("checkpoint_error", "job", j.id, "err", cerr)
 			m.mu.Lock()
 			j.ckptErr = cerr
 			m.mu.Unlock()
+			return
 		}
+		mCkptWrites.Inc()
+		m.cfg.Events.Event("checkpoint_write", "job", j.id, "iterations", s.Iterations)
 	}
 
 	// Every strategy — the NM family, pso, the hybrid, and anything a
@@ -406,6 +456,7 @@ func (m *Manager) execute(j *job) (res *core.Result, err error) {
 // finishLocked moves a job to a terminal state, publishes the transition,
 // closes subscriber channels and cleans up the durable checkpoint.
 func (m *Manager) finishLocked(j *job, res *core.Result, err error, state State) {
+	prev := j.state
 	j.state = state
 	j.result = res
 	if err != nil {
@@ -415,6 +466,26 @@ func (m *Manager) finishLocked(j *job, res *core.Result, err error, state State)
 	if res != nil {
 		j.iter = res.Iterations
 		j.bestG = res.BestG
+	}
+	switch prev {
+	case StateQueued:
+		mQueuedGauge.Dec()
+	case StateRunning:
+		mRunningGauge.Dec()
+		mRunSeconds.Observe(j.finished.Sub(j.started).Seconds())
+	}
+	switch state {
+	case StateDone:
+		mCompleted.Inc()
+	case StateFailed:
+		mFailed.Inc()
+	case StateCanceled:
+		mCanceled.Inc()
+	}
+	if err != nil {
+		m.cfg.Events.Event("job_state", "job", j.id, "state", state, "err", err)
+	} else {
+		m.cfg.Events.Event("job_state", "job", j.id, "state", state)
 	}
 	m.publishLocked(j, Event{JobID: j.id, Type: "state", State: state})
 	for id, ch := range j.subs {

@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+// This file is the allocation-budget layer for the metric hot path.
+// Counter/Gauge/Histogram ops sit inside the sampling inner loops
+// (sched.DoN, sim batch advance, the dist frame codecs); the contract is
+// that recording a metric is pure atomics — zero allocations per op.
+// The budget is 0, not "small": any regression fails the build.
+
+func TestMetricOpsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total")
+	g := r.Gauge("alloc_gauge")
+	h := r.Histogram("alloc_seconds", nil)
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Value", func() { _ = c.Value() }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(-0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.0042) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.op); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestMetricOpsAllocFreeDisabled pins the stripped path too: with
+// recording off, ops must still be alloc-free (they are the branch
+// alone).
+func TestMetricOpsAllocFreeDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	r := NewRegistry()
+	c := r.Counter("alloc_off_total")
+	h := r.Histogram("alloc_off_seconds", nil)
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(1) }); allocs != 0 {
+		t.Errorf("disabled ops: %.1f allocs per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger is the structured event log: one JSON object per line (NDJSON),
+// each with a "ts" timestamp and an "event" type followed by the caller's
+// key/value fields. It replaces the ad-hoc `Logf func(string, ...any)`
+// fields that used to be scattered across dist, jobs and the commands.
+//
+// A nil *Logger is valid and discards everything, so instrumented code
+// never needs a nil check. Writes are serialized by a mutex; lines are
+// written with a single Write call so concurrent loggers sharing a pipe
+// (optd and its workers on stderr) do not interleave mid-line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	fn  func(format string, args ...any) // legacy sink, used when w is nil
+	now func() time.Time                 // test hook; nil = time.Now
+	buf bytes.Buffer
+}
+
+// NewLogger returns a Logger writing NDJSON lines to w. A nil w yields a
+// discard-everything logger (same as a nil *Logger).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// NewFuncLogger adapts a legacy printf-style sink into a Logger: each
+// event is rendered as one "event k=v ..." line through fn. It is the
+// compatibility shim that keeps `Logf func(string, ...any)` config fields
+// working while call sites move to typed events. A nil fn yields a
+// discard-everything logger.
+func NewFuncLogger(fn func(format string, args ...any)) *Logger {
+	if fn == nil {
+		return nil
+	}
+	return &Logger{fn: fn}
+}
+
+// Event emits one structured event. typ names the event ("worker_join",
+// "job_state", ...); kv is alternating key, value pairs. Non-string keys
+// and a trailing odd value are tolerated (rendered via fmt) rather than
+// dropped, so a malformed call site still leaves evidence in the log.
+// Values marshal as JSON; errors and fmt.Stringers render as strings.
+func (l *Logger) Event(typ string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	if l.w == nil {
+		// Legacy printf sink: render flat.
+		var b bytes.Buffer
+		b.WriteString(typ)
+		for i := 0; i < len(kv); i += 2 {
+			key := keyString(kv[i])
+			if i+1 < len(kv) {
+				fmt.Fprintf(&b, " %s=%v", key, eventValue(kv[i+1]))
+			} else {
+				fmt.Fprintf(&b, " %s=?", key)
+			}
+		}
+		l.fn("%s", b.String())
+		return
+	}
+	b := &l.buf
+	b.Reset()
+	b.WriteString(`{"ts":`)
+	writeJSON(b, now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"event":`)
+	writeJSON(b, typ)
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(',')
+		writeJSON(b, keyString(kv[i]))
+		b.WriteByte(':')
+		if i+1 < len(kv) {
+			writeJSON(b, eventValue(kv[i+1]))
+		} else {
+			b.WriteString("null")
+		}
+	}
+	b.WriteString("}\n")
+	l.w.Write(b.Bytes())
+}
+
+// Logf is the printf-style shim: the formatted message becomes a "log"
+// event with a single "msg" field. Existing call sites that held a
+// `Logf func(string, ...any)` can hold logger.Logf instead.
+func (l *Logger) Logf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Event("log", "msg", fmt.Sprintf(format, args...))
+}
+
+// keyString coerces an event key to a string.
+func keyString(k any) string {
+	if s, ok := k.(string); ok {
+		return s
+	}
+	return fmt.Sprint(k)
+}
+
+// eventValue maps awkward-to-marshal values (errors, Stringers) to
+// strings and passes everything else through to the JSON encoder.
+func eventValue(v any) any {
+	switch t := v.(type) {
+	case error:
+		return t.Error()
+	case fmt.Stringer:
+		return t.String()
+	case time.Duration:
+		return t.String()
+	}
+	return v
+}
+
+// writeJSON appends the JSON encoding of v, falling back to a quoted
+// fmt rendering if v does not marshal (a logger must not drop events
+// over an unmarshalable field).
+func writeJSON(b *bytes.Buffer, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(enc)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventNDJSON: every event is exactly one parseable JSON line with
+// ts + event leading and the caller's fields in order.
+func TestEventNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC) }
+	l.Event("worker_join", "worker", 3, "name", "agent-a", "capacity", 2, "err", error(nil))
+	l.Event("job_state", "job", "j1", "state", "running")
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", err, lines[0])
+	}
+	if first["event"] != "worker_join" || first["worker"] != float64(3) || first["name"] != "agent-a" {
+		t.Errorf("unexpected fields: %v", first)
+	}
+	if ts, ok := first["ts"].(string); !ok || ts != "2026-08-08T12:00:00.123456789Z" {
+		t.Errorf("ts = %v", first["ts"])
+	}
+	if !strings.HasPrefix(lines[0], `{"ts":`) || !strings.Contains(lines[0], `,"event":"worker_join",`) {
+		t.Errorf("field order not preserved: %s", lines[0])
+	}
+}
+
+// TestEventAwkwardValues: errors, Stringers, durations and malformed
+// key/value lists must still produce a valid line, never drop the event.
+func TestEventAwkwardValues(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Event("fatal",
+		"err", errors.New("dial tcp: no route"),
+		"backoff", 250*time.Millisecond,
+		42, "non-string key",
+		"dangling")
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if m["err"] != "dial tcp: no route" {
+		t.Errorf("err = %v", m["err"])
+	}
+	if m["backoff"] != "250ms" {
+		t.Errorf("backoff = %v", m["backoff"])
+	}
+	if m["42"] != "non-string key" {
+		t.Errorf("coerced key = %v", m["42"])
+	}
+	if v, present := m["dangling"]; !present || v != nil {
+		t.Errorf("dangling key = %v (present=%v), want null", v, present)
+	}
+}
+
+// TestNilLoggerSafe: a nil *Logger (and nil sinks) discard silently so
+// instrumented code needs no nil checks.
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Event("anything", "k", "v")
+	l.Logf("still %s", "fine")
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) should return nil")
+	}
+	if NewFuncLogger(nil) != nil {
+		t.Error("NewFuncLogger(nil) should return nil")
+	}
+}
+
+// TestFuncLoggerShim: the legacy printf adapter renders events as flat
+// "event k=v" lines through the wrapped function.
+func TestFuncLoggerShim(t *testing.T) {
+	var got []string
+	l := NewFuncLogger(func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	})
+	l.Event("session_end", "err", errors.New("eof"), "reconnect_in", 500*time.Millisecond)
+	l.Logf("plain %d", 7)
+	if len(got) != 2 {
+		t.Fatalf("got %d lines: %v", len(got), got)
+	}
+	if got[0] != "session_end err=eof reconnect_in=500ms" {
+		t.Errorf("rendered event = %q", got[0])
+	}
+	if got[1] != "log msg=plain 7" {
+		t.Errorf("rendered Logf = %q", got[1])
+	}
+}
+
+// TestLoggerConcurrent: concurrent events on one logger never interleave
+// mid-line (every line parses) and none are lost.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	const writers, per = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Event("tick", "writer", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != writers*per {
+		t.Fatalf("got %d lines, want %d", len(lines), writers*per)
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("corrupt line: %v\n%s", err, line)
+		}
+	}
+}
+
+// syncBuffer serializes writes; the logger's own mutex should make this
+// redundant, but the test must not race on the buffer itself.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

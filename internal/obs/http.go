@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler returns an http.Handler serving the registry in
+// Prometheus text exposition format — the body of GET /metrics.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// RegisterDebug wires the observability surface onto mux: GET /metrics
+// (the registry) and the standard net/http/pprof profile endpoints under
+// /debug/pprof/. It exists because both optd and the optworker debug
+// listener expose the same pair, and because the commands use non-default
+// muxes (pprof only self-registers on http.DefaultServeMux).
+func (r *Registry) RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", r.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugMux returns a standalone mux carrying the registry's /metrics and
+// the pprof endpoints — the whole surface of the optworker -debug-addr
+// listener.
+func (r *Registry) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	r.RegisterDebug(mux)
+	return mux
+}

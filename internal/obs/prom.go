@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): series grouped by base name under
+// one # HELP/# TYPE header, histograms expanded into cumulative _bucket
+// lines with `le` labels plus _sum and _count. Output ordering is
+// deterministic (sorted by series name) so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names := r.names()
+	var lastBase string
+	for _, name := range names {
+		base, labels, err := splitName(name)
+		if err != nil {
+			return err // unreachable: names were validated at registration
+		}
+		r.mu.Lock()
+		kind, help := r.kinds[base], r.help[base]
+		counter, gauge, hist := r.counters[name], r.gauges[name], r.hists[name]
+		r.mu.Unlock()
+		if base != lastBase {
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		switch {
+		case counter != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, counter.Value()); err != nil {
+				return err
+			}
+		case gauge != nil:
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(gauge.Value())); err != nil {
+				return err
+			}
+		case hist != nil:
+			if err := writeHistogram(w, base, labels, hist.View()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the `le` label merged into any baked-in labels, then _sum and _count.
+func writeHistogram(w io.Writer, base, labels string, v HistogramView) error {
+	prefix := labels
+	if prefix != "" {
+		prefix += ","
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, c := range v.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(v.Bounds) {
+			le = formatFloat(v.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, prefix, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(v.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, cum)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip form, with +Inf/-Inf/NaN spelled out.
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

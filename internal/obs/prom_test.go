@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: one HELP/TYPE header
+// per base name shared across labeled variants, counters and gauges as
+// plain samples, histograms as cumulative le-buckets plus _sum/_count
+// with the le label merged into baked-in labels.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`frames_total{codec="binary",dir="tx"}`, "frames per codec per direction").Add(7)
+	r.Counter(`frames_total{codec="json",dir="rx"}`).Add(2)
+	r.Gauge("workers", "live workers").Set(3)
+	h := r.Histogram(`rtt_seconds{proto="binary"}`, []float64{0.1, 1}, "dispatch RTT")
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		`# HELP frames_total frames per codec per direction`,
+		`# TYPE frames_total counter`,
+		`frames_total{codec="binary",dir="tx"} 7`,
+		`frames_total{codec="json",dir="rx"} 2`,
+		`# HELP rtt_seconds dispatch RTT`,
+		`# TYPE rtt_seconds histogram`,
+		`rtt_seconds_bucket{proto="binary",le="0.1"} 2`,
+		`rtt_seconds_bucket{proto="binary",le="1"} 3`,
+		`rtt_seconds_bucket{proto="binary",le="+Inf"} 4`,
+		`rtt_seconds_sum{proto="binary"} 5.6`,
+		`rtt_seconds_count{proto="binary"} 4`,
+		`# TYPE workers gauge`,
+		`workers 3`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in output:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE frames_total counter") != 1 {
+		t.Errorf("TYPE header not shared across labeled variants:\n%s", out)
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestMetricsHandler: the HTTP wrapper serves the same body with the
+// Prometheus text content type.
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total").Add(5)
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 5\n") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestDebugMux: the standalone debug mux (the optworker -debug-addr
+// surface) serves /metrics and the pprof index.
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mux_total").Inc()
+	mux := r.DebugMux()
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}

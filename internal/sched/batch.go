@@ -5,6 +5,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Entry dispatch states.
@@ -81,6 +84,21 @@ func (b *Batch) Wait(ctx context.Context) error {
 	if len(b.entries) == 0 {
 		return ctx.Err()
 	}
+	if !obs.Enabled() {
+		return b.wait(ctx)
+	}
+	mInflight.Inc()
+	start := time.Now()
+	err := b.wait(ctx)
+	mBatchSeconds.Observe(time.Since(start).Seconds())
+	mBatches.Inc()
+	mTasks.Add(int64(len(b.entries)))
+	mInflight.Dec()
+	return err
+}
+
+// wait is the uninstrumented dispatch-and-join body behind Wait.
+func (b *Batch) wait(ctx context.Context) error {
 	order := make([]*Entry, len(b.entries))
 	copy(order, b.entries)
 	sort.SliceStable(order, func(i, j int) bool { return order[i].prio < order[j].prio })

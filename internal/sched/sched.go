@@ -25,10 +25,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Do when the scheduler has been closed.
 var ErrClosed = errors.New("sched: scheduler is closed")
+
+// Pool metrics (obs registry). Handles are resolved once here; the hot
+// paths only touch atomics. Batch-level granularity keeps the per-draw
+// cost at ~zero: one counter add and one histogram observation per
+// batch, never per task.
+var (
+	mBatches = obs.Default().Counter("sched_batches_total",
+		"evaluation batches dispatched through Do, DoN or Batch.Wait")
+	mTasks = obs.Default().Counter("sched_tasks_total",
+		"individual evaluation tasks submitted across all batches")
+	mBatchSeconds = obs.Default().Histogram("sched_batch_seconds", nil,
+		"wall-clock latency of one evaluation batch, dispatch to join")
+	mBusy = obs.Default().Gauge("sched_busy_workers",
+		"goroutines currently executing batch tasks (the caller itself on the serial path)")
+	mInflight = obs.Default().Gauge("sched_inflight_batches",
+		"batches currently dispatching or draining")
+)
 
 // Config configures a Scheduler.
 type Config struct {
@@ -141,6 +161,28 @@ func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
+	if !obs.Enabled() {
+		return s.do(ctx, tasks)
+	}
+	serial := s.workers == 1 || len(tasks) == 1
+	if serial {
+		mBusy.Inc()
+	}
+	mInflight.Inc()
+	start := time.Now()
+	err := s.do(ctx, tasks)
+	mBatchSeconds.Observe(time.Since(start).Seconds())
+	mBatches.Inc()
+	mTasks.Add(int64(len(tasks)))
+	mInflight.Dec()
+	if serial {
+		mBusy.Dec()
+	}
+	return err
+}
+
+// do is the uninstrumented batch body behind Do.
+func (s *Scheduler) do(ctx context.Context, tasks []func()) error {
 	if s.workers == 1 || len(tasks) == 1 {
 		for _, fn := range tasks {
 			if err := ctx.Err(); err != nil {
@@ -223,6 +265,8 @@ type nbatch struct {
 // ends. It is the body every participant (pool worker) executes.
 func (b *nbatch) run() {
 	defer b.wg.Done()
+	mBusy.Inc()
+	defer mBusy.Dec()
 	for b.ctx.Err() == nil {
 		i := b.next.Add(1) - 1
 		if i >= b.n {
@@ -259,6 +303,28 @@ func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if !obs.Enabled() {
+		return s.doN(ctx, n, fn)
+	}
+	serial := s.workers == 1 || n == 1
+	if serial {
+		mBusy.Inc()
+	}
+	mInflight.Inc()
+	start := time.Now()
+	err := s.doN(ctx, n, fn)
+	mBatchSeconds.Observe(time.Since(start).Seconds())
+	mBatches.Inc()
+	mTasks.Add(int64(n))
+	mInflight.Dec()
+	if serial {
+		mBusy.Dec()
+	}
+	return err
+}
+
+// doN is the uninstrumented batch body behind DoN.
+func (s *Scheduler) doN(ctx context.Context, n int, fn func(i int)) error {
 	if s.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -159,6 +159,7 @@ func SampleAdaptive(ctx context.Context, space Space, points []Point, dt0 float6
 			return rounds, err
 		}
 		rounds++
+		mAdaptiveRounds.Inc()
 		dt *= plan.grow()
 	}
 	return rounds, nil

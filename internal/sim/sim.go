@@ -27,8 +27,23 @@ import (
 	"sync/atomic"
 
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/vtime"
+)
+
+// Sampling metrics (obs registry). Counted at batch granularity on the
+// single success hook every sampling path funnels through
+// (advanceBatch), so the per-draw overhead is two atomic adds amortized
+// over the whole batch. sim_draws_total is the rate source for the
+// draws/sec the paper's N comparisons are denominated in.
+var (
+	mDraws = obs.Default().Counter("sim_draws_total",
+		"sampling increments performed (in-process and fleet)")
+	mSampleBatches = obs.Default().Counter("sim_batches_total",
+		"completed sampling batches across all spaces")
+	mAdaptiveRounds = obs.Default().Counter("sim_adaptive_rounds_total",
+		"variance-adaptive resampling growth rounds taken by SampleAdaptive")
 )
 
 // Estimate is the optimizer-visible state of a sampled point.
@@ -334,6 +349,8 @@ func (s *LocalSpace) checkBatch(points []Point) []*localPoint {
 // advanceBatch applies the virtual-clock accounting of one completed batch:
 // dt once under the parallel execution model, n*dt serially.
 func (s *LocalSpace) advanceBatch(n int, dt float64) {
+	mSampleBatches.Inc()
+	mDraws.Add(int64(n))
 	if s.cfg.Parallel {
 		s.clock.Advance(dt)
 	} else {
@@ -373,6 +390,7 @@ func (p *localPoint) Sample(dt float64) {
 		return
 	}
 	p.sample(dt)
+	mDraws.Inc()
 	p.space.clock.Advance(dt)
 }
 
