@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race lint vet fmt cover
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The repo's own static-analysis suite (docs/LINT.md). Exit 1 on findings.
+lint:
+	$(GO) run ./cmd/optlint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w $$(git ls-files '*.go' | grep -v testdata)
+
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

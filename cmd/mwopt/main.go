@@ -47,7 +47,7 @@ func main() {
 	ns := len(root.Systems)
 	need := mw.ExpectedProcesses(d, ns)
 	machines := mw.GenerateMachinefile(need/8+1, 8)
-	if alloc, err := machines.Allocate(d, ns); err == nil {
+	if alloc, allocErr := machines.Allocate(d, ns); allocErr == nil {
 		fmt.Printf("MW deployment: %d processes (1 master, %d workers, %d servers, %d clients) over %d nodes\n",
 			alloc.Total(), d+3, d+3, (d+3)*ns, len(alloc.NodeUsage()))
 	}

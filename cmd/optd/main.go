@@ -94,9 +94,9 @@ func main() {
 	defer mgr.Close()
 
 	if *ckptDir != "" && !*noRecover {
-		ids, err := mgr.Recover()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: recover: %v\n", err)
+		ids, recErr := mgr.Recover()
+		if recErr != nil {
+			fmt.Fprintf(os.Stderr, "warning: recover: %v\n", recErr)
 		}
 		if len(ids) > 0 {
 			fmt.Printf("recovered %d checkpointed job(s): %v\n", len(ids), ids)

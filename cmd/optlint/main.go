@@ -1,0 +1,25 @@
+// Command optlint runs the repo's custom static-analysis suite: determinism,
+// noalloc, floatguard, lockguard, atomicguard, directive hygiene, and the
+// shadow/unusedwrite/nilness passes stock `go vet` lacks.
+//
+// Standalone:
+//
+//	go run ./cmd/optlint ./...
+//
+// As a vet tool (unitchecker protocol, incremental via the build cache):
+//
+//	go build -o /tmp/optlint ./cmd/optlint
+//	go vet -vettool=/tmp/optlint ./...
+//
+// See docs/LINT.md for the rule catalog and the //optlint: directives.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

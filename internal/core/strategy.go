@@ -196,6 +196,7 @@ func Strategies() []string {
 	stratMu.RLock()
 	defer stratMu.RUnlock()
 	out := make([]string, 0, len(stratByName))
+	//optlint:nondeterministic-ok names are sorted below
 	for name := range stratByName {
 		out = append(out, name)
 	}
@@ -209,6 +210,7 @@ func StrategyInfos() []StrategyInfo {
 	stratMu.RLock()
 	defer stratMu.RUnlock()
 	out := make([]StrategyInfo, 0, len(stratByName))
+	//optlint:nondeterministic-ok infos are sorted by name below
 	for name, s := range stratByName {
 		info := StrategyInfo{Name: name, Resumable: s.Resumable()}
 		info.Aliases = append(info.Aliases, stratAliases[name]...)
@@ -235,6 +237,7 @@ func LookupStrategy(name string) (Strategy, error) {
 		return stratByName[canon], nil
 	}
 	names := make([]string, 0, len(stratByName))
+	//optlint:nondeterministic-ok error-message name list is sorted below
 	for n := range stratByName {
 		names = append(names, n)
 	}

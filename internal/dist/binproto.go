@@ -185,6 +185,8 @@ func appendStr16(buf []byte, s string) ([]byte, error) {
 }
 
 // appendF64 appends the IEEE-754 bits of a finite float64.
+//
+//optlint:floatboundary
 func appendF64(buf []byte, v float64) ([]byte, error) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return buf, errBinNonFinite
@@ -241,6 +243,9 @@ func (r *binReader) u64() (uint64, error) {
 	return binary.BigEndian.Uint64(b), nil
 }
 
+// f64 decodes one IEEE-754 value, rejecting non-finite bit patterns.
+//
+//optlint:floatboundary
 func (r *binReader) f64() (float64, error) {
 	bits, err := r.u64()
 	if err != nil {
@@ -297,16 +302,16 @@ func decodeBinaryFrame(body []byte, m *Message) error {
 		if h.Name, err = r.str16(); err != nil {
 			return decodeErr(err)
 		}
-		capacity, err := r.u32()
-		if err != nil {
+		var capacity uint32
+		if capacity, err = r.u32(); err != nil {
 			return decodeErr(err)
 		}
 		if capacity > math.MaxInt32 {
 			return fmt.Errorf("dist: capacity %d overflows", capacity)
 		}
 		h.Capacity = int(capacity)
-		nprotos, err := r.u8()
-		if err != nil {
+		var nprotos uint8
+		if nprotos, err = r.u8(); err != nil {
 			return decodeErr(err)
 		}
 		if int(nprotos) > r.remaining() {
@@ -315,8 +320,8 @@ func decodeBinaryFrame(body []byte, m *Message) error {
 		if nprotos > 0 {
 			h.Protos = make([]string, 0, nprotos)
 			for i := 0; i < int(nprotos); i++ {
-				id, err := r.u8()
-				if err != nil {
+				var id uint8
+				if id, err = r.u8(); err != nil {
 					return decodeErr(err)
 				}
 				p := Proto(id)

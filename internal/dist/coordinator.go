@@ -20,6 +20,8 @@ var ErrClosed = errors.New("dist: coordinator is closed")
 
 // finite reports whether v can cross a frame (neither codec carries
 // non-finite floats).
+//
+//optlint:floatboundary
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // maxWorkerCapacity clamps a worker's announced concurrency: capacity sizes
@@ -78,18 +80,18 @@ type Coordinator struct {
 	ceiling Proto // parsed cfg.Protocol
 
 	mu       sync.Mutex
-	ln       net.Listener
-	workers  map[string]*remoteWorker
-	tasks    map[uint64]*task // live (queued or outstanding) tasks
-	queue    taskQueue
-	nextTask uint64
-	nextID   int
-	closed   bool
+	ln       net.Listener             // guarded by mu
+	workers  map[string]*remoteWorker // guarded by mu
+	tasks    map[uint64]*task         // guarded by mu: live (queued or outstanding) tasks
+	queue    taskQueue                // guarded by mu
+	nextTask uint64                   // guarded by mu
+	nextID   int                      // guarded by mu
+	closed   bool                     // guarded by mu
 
 	// Cumulative counters for Status.
-	completed   uint64
-	requeued    uint64
-	deadWorkers uint64
+	completed   uint64 // guarded by mu
+	requeued    uint64 // guarded by mu
+	deadWorkers uint64 // guarded by mu
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -104,9 +106,11 @@ type remoteWorker struct {
 	conn     net.Conn
 	fw       *FrameWriter // owned by the sender goroutine after handshake
 
-	outstanding map[uint64]*task
-	lastSeen    time.Time
-	dead        bool
+	// The coordinator's mu guards the mutable fields below; the fields above
+	// are fixed at handshake.
+	outstanding map[uint64]*task // guarded by mu
+	lastSeen    time.Time        // guarded by mu
+	dead        bool             // guarded by mu
 
 	sendq chan Task
 	quit  chan struct{}
@@ -202,11 +206,13 @@ func (c *Coordinator) Close() {
 		c.ln.Close()
 	}
 	workers := make([]*remoteWorker, 0, len(c.workers))
+	//optlint:nondeterministic-ok teardown: collection order does not affect results, every worker is closed
 	for _, w := range c.workers {
 		workers = append(workers, w)
 	}
 	// Fail every live batch exactly once.
 	failed := make(map[*batch]bool)
+	//optlint:nondeterministic-ok teardown: each batch fails exactly once regardless of visit order
 	for _, t := range c.tasks {
 		if !failed[t.b] {
 			failed[t.b] = true
@@ -242,7 +248,7 @@ func (c *Coordinator) accept(ln net.Listener) {
 
 // handshake performs the hello/welcome exchange and registers the worker.
 func (c *Coordinator) handshake(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	conn.SetDeadline(time.Now().Add(c.cfg.Timeout)) //optlint:nondeterministic-ok I/O deadline, never reaches a sample
 	var m Message
 	if err := ReadFrame(conn, &m); err != nil || m.Type != TypeHello || m.Hello == nil {
 		conn.Close()
@@ -276,7 +282,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		proto:       proto,
 		conn:        conn,
 		outstanding: make(map[uint64]*task),
-		lastSeen:    time.Now(),
+		lastSeen:    time.Now(), //optlint:nondeterministic-ok liveness bookkeeping, never reaches a sample
 		// sendq never holds more than the worker's outstanding tasks, which
 		// dispatchLocked bounds by pipelineDepth * capacity.
 		sendq: make(chan Task, pipelineDepth*capacity),
@@ -353,7 +359,7 @@ func (c *Coordinator) reader(w *remoteWorker) {
 			return
 		}
 		c.mu.Lock()
-		now := time.Now()
+		now := time.Now() //optlint:nondeterministic-ok liveness bookkeeping, never reaches a sample
 		mHeartbeatGap.Observe(now.Sub(w.lastSeen).Seconds())
 		w.lastSeen = now
 		if m.Type == TypeResults && m.Results != nil {
@@ -388,7 +394,7 @@ func (c *Coordinator) applyResultsLocked(results []TaskResult) {
 		c.completed++
 		mTasksCompleted.Inc()
 		if !t.sent.IsZero() {
-			mRTT.Observe(time.Since(t.sent).Seconds())
+			mRTT.Observe(time.Since(t.sent).Seconds()) //optlint:nondeterministic-ok RTT metric, never reaches a sample
 		}
 		if t.b.pending == 0 && t.b.err == nil {
 			close(t.b.ready)
@@ -414,6 +420,7 @@ func (c *Coordinator) failBatchLocked(b *batch, err error) {
 // an agent-less coordinator must not accumulate the corpses of timed-out
 // batches until a worker happens to connect.
 func (c *Coordinator) abandonBatchLocked(b *batch) {
+	//optlint:nondeterministic-ok set removal: withdrawing tasks is order-independent
 	for id, t := range c.tasks {
 		if t.b != b {
 			continue
@@ -449,11 +456,13 @@ func (c *Coordinator) dispatchLocked() {
 	for c.queue.Len() > 0 {
 		var best *remoteWorker
 		free := 0
+		//optlint:nondeterministic-ok max with a total-order tie-break on worker id, so map order cannot change the pick
 		for _, w := range c.workers {
 			if w.dead {
 				continue
 			}
-			if f := pipelineDepth*w.capacity - len(w.outstanding); f > free {
+			f := pipelineDepth*w.capacity - len(w.outstanding)
+			if f > free || (f == free && f > 0 && w.id < best.id) {
 				best, free = w, f
 			}
 		}
@@ -466,7 +475,7 @@ func (c *Coordinator) dispatchLocked() {
 		}
 		t.w = best
 		if obs.Enabled() {
-			t.sent = time.Now()
+			t.sent = time.Now() //optlint:nondeterministic-ok RTT metric timestamp, never reaches a sample
 		}
 		best.outstanding[t.id] = t
 		select {
@@ -501,6 +510,7 @@ func (c *Coordinator) killWorker(w *remoteWorker, reason string) {
 	mWorkerDeaths.Inc()
 	mWorkersGauge.Dec()
 	orphans := make([]*task, 0, len(w.outstanding))
+	//optlint:nondeterministic-ok orphans are sorted by task id below before re-queueing
 	for _, t := range w.outstanding {
 		orphans = append(orphans, t)
 	}
@@ -541,6 +551,7 @@ func (c *Coordinator) janitor() {
 		case now := <-ticker.C:
 			var stale []*remoteWorker
 			c.mu.Lock()
+			//optlint:nondeterministic-ok re-queued tasks land in the priority heap, whose total order absorbs collection order
 			for _, w := range c.workers {
 				if now.Sub(w.lastSeen) > c.cfg.Timeout {
 					stale = append(stale, w)
@@ -674,7 +685,7 @@ func (c *Coordinator) Status() Status {
 		RequeuedTasks:  c.requeued,
 		DeadWorkers:    c.deadWorkers,
 	}
-	now := time.Now()
+	now := time.Now() //optlint:nondeterministic-ok Status snapshot for operators; also covers the range below (workers are sorted by id after)
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID:          w.id,

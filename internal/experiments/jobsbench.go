@@ -136,7 +136,7 @@ func jobsWorkload(strategy string, speculative bool, concurrency, n, iters int, 
 	lats := make([]time.Duration, n)
 	for i, id := range ids {
 		wg.Add(1)
-		go func(i int, id string) {
+		go func() {
 			defer wg.Done()
 			res, err := m.Wait(id)
 			if err != nil {
@@ -150,7 +150,7 @@ func jobsWorkload(strategy string, speculative bool, concurrency, n, iters int, 
 			st, _ := m.Get(id)
 			bests[i] = res.BestG
 			lats[i] = st.Finished.Sub(st.Created)
-		}(i, id)
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {

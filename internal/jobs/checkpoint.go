@@ -57,12 +57,17 @@ func (m *Manager) initCheckpointDir() error {
 	// eventually delete its checkpoint.
 	ckpts, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*"+ckptSuffix))
 	if err == nil {
+		// Called from New before the manager is shared, so the lock is
+		// uncontended — held anyway to keep the guarded-by discipline on
+		// nextID locally checkable.
+		m.mu.Lock()
 		for _, f := range ckpts {
 			id := strings.TrimSuffix(filepath.Base(f), ckptSuffix)
 			if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
 				m.nextID = n
 			}
 		}
+		m.mu.Unlock()
 	}
 	return nil
 }

@@ -220,11 +220,11 @@ type Manager struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	jobs     map[string]*job
-	queue    []*job
-	terminal []string // terminal job IDs, oldest first, for retention eviction
-	nextID   int
-	closed   bool
+	jobs     map[string]*job // guarded by mu
+	queue    []*job          // guarded by mu
+	terminal []string        // guarded by mu: terminal job IDs, oldest first, for retention eviction
+	nextID   int             // guarded by mu
+	closed   bool            // guarded by mu
 
 	wg sync.WaitGroup
 }

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicguard enforces all-or-nothing atomic discipline: once any code in a
+// package accesses a struct field through sync/atomic (atomic.LoadUint64(&c.n),
+// atomic.AddInt64(&g.v, d), ...) or the field has an atomic.* type
+// (atomic.Uint64, atomic.Pointer[T], ...), every other access must be atomic
+// too. A single plain read racing an atomic write is still a data race, and
+// one -race never exercised can ship a torn read.
+//
+// Detection is intra-package:
+//
+//   - fields whose type lives in sync/atomic are atomic by construction;
+//     accessing one without calling a method on it is reported (taking its
+//     address for a method call is fine);
+//   - fields passed by address into a sync/atomic function anywhere in the
+//     package become "atomic fields"; any plain (non-&-into-atomic-call)
+//     read or write of the same field object elsewhere is reported.
+//
+// Initialization inside composite literals is exempt for the same reason as
+// lockguard: constructors publish the value after initialization.
+var Atomicguard = &Analyzer{
+	Name: "atomicguard",
+	Doc:  "fields accessed via sync/atomic are never read or written plainly",
+	Run:  runAtomicguard,
+}
+
+func runAtomicguard(p *Pass) error {
+	atomicFields := map[*types.Var]bool{}      // fields passed as &f into sync/atomic funcs
+	sanctioned := map[*ast.SelectorExpr]bool{} // selector uses that ARE the atomic access
+
+	// Pass 1: find &<expr.field> arguments to sync/atomic calls, and selector
+	// bases of atomic.* typed fields' method calls.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := calleeFunc(p.Info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				if fn.Signature().Recv() == nil {
+					// atomic.LoadUint64(&x.f, ...): mark each &field arg.
+					for _, arg := range call.Args {
+						un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+							if v, ok := s.Obj().(*types.Var); ok {
+								atomicFields[v] = true
+								sanctioned[sel] = true
+							}
+						}
+					}
+				} else {
+					// c.n.Load(): the receiver selector chain is sanctioned.
+					if recv, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if base, ok := ast.Unparen(recv.X).(*ast.SelectorExpr); ok {
+							sanctioned[base] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report plain accesses.
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if _, ok := n.(*ast.CompositeLit); ok {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			switch {
+			case atomicFields[v]:
+				p.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; plain access races the atomic ones (use atomic.Load/Store)", v.Name())
+			case isAtomicTyped(v.Type()):
+				// Method calls on the field (v.Load()) and address-taking for
+				// passing it along are the sanctioned shapes; anything else —
+				// e.g. assigning the struct by value — copies the atomic.
+				if !atomicUseOK(stack, sel) {
+					p.Reportf(sel.Sel.Pos(), "field %s has atomic type %s; it must only be used via its methods, never copied or assigned", v.Name(), v.Type())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicTyped reports whether t is one of sync/atomic's value types
+// (atomic.Uint64, atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicTyped(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && !strings.HasPrefix(obj.Name(), "no")
+}
+
+// atomicUseOK reports whether the selector of an atomic-typed field sits in a
+// sanctioned position: receiver of a method call (x.f.Load()) or operand of
+// unary & (passing a pointer on).
+func atomicUseOK(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	// stack[len-1] == sel; walk outward past parens.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch outer := stack[i].(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load — the outer selector is the method; require it to be a
+		// method selection on sel.
+		return outer.X == sel || isParenOf(outer.X, sel)
+	case *ast.UnaryExpr:
+		return outer.Op == token.AND
+	}
+	return false
+}
+
+func isParenOf(e ast.Expr, sel *ast.SelectorExpr) bool {
+	return ast.Unparen(e) == sel
+}

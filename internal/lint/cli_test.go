@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = Main(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestMainUnitcheckerProbes(t *testing.T) {
+	code, out, _ := runMain("-V=full")
+	if code != 0 || !strings.Contains(out, " version devel ") || !strings.Contains(out, "buildID=") {
+		t.Errorf("-V=full: code=%d out=%q", code, out)
+	}
+	code, out, _ = runMain("-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("-flags: code=%d out=%q", code, out)
+	}
+}
+
+func TestMainListAndFlagErrors(t *testing.T) {
+	code, out, _ := runMain("-list")
+	if code != 0 {
+		t.Fatalf("-list: code=%d", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %q", a.Name)
+		}
+	}
+	if code, _, stderr := runMain("-only", "bogus"); code != 2 || !strings.Contains(stderr, "bogus") {
+		t.Errorf("-only bogus: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, _ := runMain("-nonsense"); code != 2 {
+		t.Errorf("bad flag: code=%d", code)
+	}
+	if code, _, _ := runMain("-C", filepath.Join(t.TempDir(), "missing"), "./..."); code != 2 {
+		t.Errorf("bad -C dir: code=%d", code)
+	}
+}
+
+// TestDogfoodRepoClean is the acceptance gate: the suite run over the whole
+// repository reports nothing, because every finding was fixed or annotated.
+func TestDogfoodRepoClean(t *testing.T) {
+	code, out, stderr := runMain("-C", filepath.Join("..", ".."), "./...")
+	if code != 0 {
+		t.Fatalf("optlint ./... over the repo: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("optlint ./... over the repo printed diagnostics despite exit 0:\n%s", out)
+	}
+}
+
+// writeDirtyModule creates a throwaway module whose package sim trips the
+// determinism analyzer, and returns its root.
+func writeDirtyModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	mustWrite := func(rel, body string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("go.mod", "module dirtymod\n\ngo 1.24\n")
+	mustWrite("sim/sim.go", `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	return root
+}
+
+func TestMainReportsFindings(t *testing.T) {
+	root := writeDirtyModule(t)
+	code, out, stderr := runMain("-C", root, "./...")
+	if code != 1 {
+		t.Fatalf("code=%d stdout=%q stderr=%q", code, out, stderr)
+	}
+	if !strings.Contains(out, "wall clock") && !strings.Contains(out, "time.Now") {
+		t.Errorf("diagnostic output does not mention the clock: %q", out)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+	// -only with an analyzer that cannot fire here must pass.
+	if code, _, _ := runMain("-C", root, "-only", "noalloc", "./..."); code != 0 {
+		t.Errorf("-only noalloc on the dirty module: code=%d", code)
+	}
+}
+
+// buildVetCfg shapes a cmd/go-style vet.cfg for the ./sim package of the
+// dirty module, with export data resolved through the build cache.
+func buildVetCfg(t *testing.T, root string) vetConfig {
+	t.Helper()
+	listed, err := goList(root, "./sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{
+		ID:          "dirtymod/sim",
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			cfg.PackageFile[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			cfg.ImportMap[p.ImportPath] = p.ImportPath
+			continue
+		}
+		cfg.Dir = p.Dir
+		cfg.ImportPath = p.ImportPath
+		for _, f := range p.GoFiles {
+			cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, f))
+		}
+	}
+	return cfg
+}
+
+func writeVetCfg(t *testing.T, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunVetCfg(t *testing.T) {
+	root := writeDirtyModule(t)
+	cfg := buildVetCfg(t, root)
+	cfg.VetxOutput = filepath.Join(t.TempDir(), "sim.vetx")
+
+	var stderr bytes.Buffer
+	code := runVetCfg(writeVetCfg(t, cfg), &stderr)
+	if code != 1 {
+		t.Fatalf("code=%d stderr=%q", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "sim.go:5:") {
+		t.Errorf("diagnostic position missing from stderr: %q", stderr.String())
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunVetCfgVariants(t *testing.T) {
+	root := writeDirtyModule(t)
+	base := buildVetCfg(t, root)
+
+	t.Run("vetx-only", func(t *testing.T) {
+		cfg := base
+		cfg.VetxOnly = true
+		cfg.VetxOutput = filepath.Join(t.TempDir(), "sim.vetx")
+		var stderr bytes.Buffer
+		if code := runVetCfg(writeVetCfg(t, cfg), &stderr); code != 0 {
+			t.Errorf("code=%d stderr=%q", code, stderr.String())
+		}
+		if _, err := os.Stat(cfg.VetxOutput); err != nil {
+			t.Errorf("facts file not written: %v", err)
+		}
+	})
+	t.Run("in-package-test-files-filtered", func(t *testing.T) {
+		// cmd/go folds _test.go files into the base unit; they must not be
+		// analyzed even though production files in the same unit still are.
+		cfg := base
+		testFile := filepath.Join(root, "sim", "clock_test.go")
+		body := "package sim\n\nimport \"time\"\n\nfunc stampForTest() int64 { return time.Now().UnixNano() }\n"
+		if err := os.WriteFile(testFile, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		cfg.GoFiles = append(append([]string{}, cfg.GoFiles...), testFile)
+		var stderr bytes.Buffer
+		if code := runVetCfg(writeVetCfg(t, cfg), &stderr); code != 1 {
+			t.Errorf("code=%d stderr=%q", code, stderr.String())
+		}
+		if strings.Contains(stderr.String(), "clock_test.go") {
+			t.Errorf("test file was analyzed: %q", stderr.String())
+		}
+	})
+	t.Run("test-variant-skipped", func(t *testing.T) {
+		cfg := base
+		cfg.ImportPath = "dirtymod/sim [dirtymod/sim.test]"
+		var stderr bytes.Buffer
+		if code := runVetCfg(writeVetCfg(t, cfg), &stderr); code != 0 {
+			t.Errorf("test variant analyzed: code=%d stderr=%q", code, stderr.String())
+		}
+	})
+	t.Run("succeed-on-typecheck-failure", func(t *testing.T) {
+		cfg := base
+		cfg.GoFiles = []string{filepath.Join(root, "does-not-exist.go")}
+		cfg.SucceedOnTypecheckFailure = true
+		var stderr bytes.Buffer
+		if code := runVetCfg(writeVetCfg(t, cfg), &stderr); code != 0 {
+			t.Errorf("code=%d stderr=%q", code, stderr.String())
+		}
+		cfg.SucceedOnTypecheckFailure = false
+		if code := runVetCfg(writeVetCfg(t, cfg), &stderr); code != 2 {
+			t.Errorf("typecheck failure not fatal: code=%d", code)
+		}
+	})
+	t.Run("bad-cfg", func(t *testing.T) {
+		var stderr bytes.Buffer
+		if code := runVetCfg(filepath.Join(t.TempDir(), "missing.cfg"), &stderr); code != 2 {
+			t.Errorf("missing cfg: code=%d", code)
+		}
+		path := filepath.Join(t.TempDir(), "garbage.cfg")
+		if err := os.WriteFile(path, []byte("{"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if code := runVetCfg(path, &stderr); code != 2 {
+			t.Errorf("garbage cfg: code=%d", code)
+		}
+	})
+}
+
+// TestGoVetVettool exercises the real `go vet -vettool` integration end to
+// end: clean over this repository, failing over the dirty module.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet over the repo")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "optlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/optlint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building optlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = repoRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool over the repo: %v\n%s", err, out)
+	}
+
+	root := writeDirtyModule(t)
+	vet = exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool over the dirty module passed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "wall clock") && !strings.Contains(string(out), "time.Now") {
+		t.Errorf("vet output does not carry the diagnostic: %s", out)
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive keeps the escape hatches honest. A typo'd directive
+// (//optlint:nondetermnistic-ok) or a spaced one (// optlint:noalloc) would
+// otherwise silently fail to suppress or mark anything, and the invariant it
+// was meant to document would go unenforced in the opposite direction the
+// author expected. Reported:
+//
+//   - unknown verbs, with the list of known ones;
+//   - the spaced form `// optlint:...`, which Go tooling (and this suite)
+//     does not treat as a directive;
+//   - function-marker verbs (noalloc, floatboundary) placed anywhere other
+//     than a function's doc comment, where they have no effect.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "every //optlint: comment is well-formed, known, and placed where it has effect",
+	Run:  runDirective,
+}
+
+func runDirective(p *Pass) error {
+	// Positions of comments that belong to some function's doc block.
+	funcDoc := map[token.Pos]bool{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				funcDoc[c.Slash] = true
+			}
+		}
+	}
+	known := map[string]bool{}
+	for _, v := range KnownVerbs {
+		known[v] = true
+	}
+	for _, d := range p.directives() {
+		switch {
+		case d.spaced:
+			p.Reportf(d.pos, "malformed directive: write //optlint:%s without a space — the spaced form is ignored by the suite", d.verb)
+		case !known[d.verb]:
+			p.Reportf(d.pos, "unknown optlint directive %q (known: %s)", d.verb, strings.Join(KnownVerbs, ", "))
+		case (d.verb == VerbNoalloc || d.verb == VerbFloatBoundary) && !funcDoc[d.pos]:
+			p.Reportf(d.pos, "//optlint:%s only has effect in a function's doc comment", d.verb)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package lint is the repo's custom static-analysis suite (optlint): a small
+// go/analysis-shaped framework plus repo-specific analyzers that mechanically
+// enforce the invariants every layer of this codebase is written against —
+// bitwise determinism of result-affecting code, zero-allocation hot paths,
+// non-finite rejection at the wire boundary, and documented lock/atomic
+// discipline.
+//
+// The framework is deliberately stdlib-only (go/ast, go/types, go/importer):
+// the build environment has no module proxy access, so golang.org/x/tools
+// cannot be vendored. The Analyzer/Pass/Diagnostic shape mirrors
+// golang.org/x/tools/go/analysis closely enough that porting the analyzers
+// onto the real framework later is mechanical; package loading reuses the
+// toolchain itself (`go list -export`) and the stdlib gc export-data
+// importer, which is exactly how x/tools' loader works underneath.
+//
+// Analyzers (see docs/LINT.md for the full rule catalog):
+//
+//   - determinism: no wall-clock reads, no process-global RNG, and no
+//     map-order-dependent writes in result-affecting packages.
+//   - noalloc: functions marked //optlint:noalloc contain no
+//     allocation-forcing constructs.
+//   - floatguard: float64 bit-casts in package dist only inside
+//     //optlint:floatboundary helpers that reject non-finite values.
+//   - lockguard: fields documented `// guarded by mu` are only touched by
+//     functions that lock mu (or are named *Locked).
+//   - atomicguard: fields accessed via sync/atomic are never read or
+//     written plainly.
+//   - directive: every //optlint: comment is well-formed, known, and
+//     placed where it has effect.
+//   - shadow, unusedwrite, nilness: stdlib-only reimplementations of the
+//     x/tools passes absent from stock `go vet`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check on one package, reporting findings through the
+	// pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression and object facts.
+	Info *types.Info
+
+	diags *[]Diagnostic
+	dirs  []directive
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive verbs the suite understands. Anything else after "//optlint:" is
+// itself a finding (see the directive analyzer).
+const (
+	// VerbNondeterministicOK suppresses a determinism finding on its own
+	// line or the line directly below (line-scoped, never file- or
+	// function-scoped).
+	VerbNondeterministicOK = "nondeterministic-ok"
+	// VerbNoalloc marks a function whose body must contain no
+	// allocation-forcing constructs. It belongs in the function's doc
+	// comment.
+	VerbNoalloc = "noalloc"
+	// VerbFloatBoundary marks a dist helper audited to reject non-finite
+	// floats around a bit-level (de)serialization. It belongs in the
+	// function's doc comment.
+	VerbFloatBoundary = "floatboundary"
+)
+
+// KnownVerbs lists every directive verb the suite accepts.
+var KnownVerbs = []string{VerbNondeterministicOK, VerbNoalloc, VerbFloatBoundary}
+
+// directive is one parsed //optlint: comment.
+type directive struct {
+	verb   string // the token after the colon
+	spaced bool   // written with a space ("// optlint:"), which Go tooling does not treat as a directive
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+// directiveRx matches optlint directive comments, tolerating (and flagging)
+// the malformed spaced form.
+var directiveRx = regexp.MustCompile(`^//(\s*)optlint:([^ \t]*)`)
+
+// directives scans (once) every line comment in the pass for //optlint:
+// markers.
+func (p *Pass) directives() []directive {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	p.dirs = []directive{} // non-nil: scan exactly once
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Slash)
+				p.dirs = append(p.dirs, directive{
+					verb:   m[2],
+					spaced: m[1] != "",
+					file:   pos.Filename,
+					line:   pos.Line,
+					pos:    c.Slash,
+				})
+			}
+		}
+	}
+	return p.dirs
+}
+
+// Suppressed reports whether a finding at pos is covered by a well-formed
+// directive with the given verb on the same line or the line directly above.
+// Suppression is deliberately line-scoped: a directive never silences a whole
+// function or file.
+func (p *Pass) Suppressed(pos token.Pos, verb string) bool {
+	at := p.Fset.Position(pos)
+	for _, d := range p.directives() {
+		if d.spaced || d.verb != verb || d.file != at.Filename {
+			continue
+		}
+		if d.line == at.Line || d.line == at.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether fd's doc comment carries a well-formed
+// //optlint:<verb> directive.
+func (p *Pass) FuncMarked(fd *ast.FuncDecl, verb string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if m := directiveRx.FindStringSubmatch(c.Text); m != nil && m[1] == "" && m[2] == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the base
+// identifier of an lvalue (c in c.queue[i].x), or nil if the base is not an
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call expression to the function or builtin object it
+// invokes (nil for indirect calls through variables and for conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	switch obj := info.Uses[id].(type) {
+	case *types.Func, *types.Builtin:
+		return obj
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the named package.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// All returns the full analyzer suite in reporting order: the five
+// repo-specific invariant checks, the directive hygiene check, and the three
+// standard passes absent from stock `go vet`.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Noalloc,
+		Floatguard,
+		Lockguard,
+		Atomicguard,
+		Directive,
+		Shadow,
+		Unusedwrite,
+		Nilness,
+	}
+}
+
+// byName resolves a comma-separated -only list against All.
+func byName(names string) ([]*Analyzer, error) {
+	all := All()
+	if names == "" {
+		return all, nil
+	}
+	index := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// findings sorted by position. Analyzers that iterate maps internally stay
+// deterministic because the final ordering is imposed here.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Types:    pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

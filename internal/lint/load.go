@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps positions (shared across one Load call).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds type-checker facts for the files.
+	Info *types.Info
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	DepOnly    bool
+}
+
+// goList runs `go list -export -deps -json` in dir and decodes the stream.
+// Export data comes straight out of the build cache, so the only external
+// tool the suite needs is the Go toolchain itself.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Export,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc-importer lookup function over an import-path →
+// export-file map.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// typeCheck parses and type-checks one package from source against export
+// data for its dependencies.
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Load resolves patterns (e.g. "./...") with the go toolchain, parses the
+// matched packages from source, and type-checks them against build-cache
+// export data. Test files are not analyzed: the invariants the suite enforces
+// are about result-affecting production code, and tests legitimately use wall
+// clocks and the global RNG.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var pkgs []*Package
+	for _, p := range targets {
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// testExports caches import-path → export-file resolutions for the test
+// harness, so repeated fixture loads pay one `go list` per new import set.
+var testExports sync.Map
+
+// loadTestPackage loads every .go file in dir as one package — the fixture
+// shape used by the analyzer test suites (testdata/src/<analyzer>/<pkg>).
+// Imports are resolved through the build cache like Load does.
+func loadTestPackage(dir string) (*Package, error) {
+	entries, rdErr := os.ReadDir(dir)
+	if rdErr != nil {
+		return nil, rdErr
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var goFiles []string
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		goFiles = append(goFiles, path)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+
+	var missing []string
+	for p := range imports {
+		if _, ok := testExports.Load(p); !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		listed, err := goList(dir, missing...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				testExports.Store(p.ImportPath, p.Export)
+			}
+		}
+	}
+	exports := map[string]string{}
+	testExports.Range(func(k, v any) bool {
+		exports[k.(string)] = v.(string)
+		return true
+	})
+
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	name := files[0].Name.Name
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: name,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

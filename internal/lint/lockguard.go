@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces documented mutex discipline. A struct field whose
+// declaration carries a `// guarded by <mu>` comment (the convention used by
+// dist.Coordinator, dist.remoteWorker and jobs.Manager) may only be read or
+// written by a function that demonstrably holds that mutex:
+//
+//   - the enclosing function contains a <recv>.<mu>.Lock() or
+//     <recv>.<mu>.RLock() call, or
+//   - the enclosing function's name ends in "Locked" — the repo-wide naming
+//     convention for must-hold-the-lock helpers, whose callers are checked
+//     at their own call sites.
+//
+// The check is intra-package and syntactic: it does not do inter-procedural
+// lock-set analysis, so a Lock anywhere in the function body (even on a
+// branch) counts as holding. That makes it a reviewable documentation
+// enforcer rather than a race detector — `go test -race` remains the dynamic
+// backstop. Composite-literal keys are exempt: constructors initialize
+// guarded fields before the value is shared.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields documented `// guarded by mu` only touched under that mutex or in *Locked helpers",
+	Run:  runLockguard,
+}
+
+var guardedByRx = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardedField records one `// guarded by <mu>` declaration.
+type guardedField struct {
+	field *types.Var
+	mu    string // mutex field name, e.g. "mu"
+}
+
+func runLockguard(p *Pass) error {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockguardFunc(p, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields scans struct declarations for fields documented
+// `// guarded by <mu>` — in the field's doc comment above it, or in a
+// trailing comment on the field's line. A single field line may declare
+// several names; the comment covers all of them.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := ""
+				if fld.Doc != nil {
+					if m := guardedByRx.FindStringSubmatch(fld.Doc.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" && fld.Comment != nil {
+					if m := guardedByRx.FindStringSubmatch(fld.Comment.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return false
+		})
+	}
+	return guarded
+}
+
+func checkLockguardFunc(p *Pass, fd *ast.FuncDecl, guarded map[*types.Var]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	held := heldMutexes(p, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures (goroutine bodies) are checked on their own: locks
+			// taken inside the literal count, locks in the enclosing
+			// function generally aren't held when the goroutine runs.
+			checkLockguardBlock(p, fd, n.Body, heldMutexesIn(p, n.Body), guarded)
+			return false
+		case *ast.CompositeLit:
+			// Constructor initialization happens before the value is shared.
+			return false
+		case *ast.SelectorExpr:
+			reportUnguarded(p, fd, n, held, guarded)
+		}
+		return true
+	})
+}
+
+// checkLockguardBlock checks one closure body with its own held set.
+func checkLockguardBlock(p *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, held map[string]bool, guarded map[*types.Var]string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			return false
+		case *ast.SelectorExpr:
+			reportUnguarded(p, fd, n, held, guarded)
+		}
+		return true
+	})
+}
+
+func reportUnguarded(p *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, held map[string]bool, guarded map[*types.Var]string) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, ok := guarded[v]
+	if !ok || held[mu] {
+		return
+	}
+	p.Reportf(sel.Sel.Pos(), "field %s.%s is documented `guarded by %s` but %s neither locks %s nor is named *Locked", fieldOwner(v), v.Name(), mu, fd.Name.Name, mu)
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort.
+func fieldOwner(v *types.Var) string {
+	// The field's parent scope doesn't name the struct; fall back to the
+	// package-qualified field position being enough context and just use the
+	// package name.
+	if v.Pkg() != nil {
+		return v.Pkg().Name()
+	}
+	return "?"
+}
+
+// heldMutexes scans a function body (excluding nested function literals) for
+// <x>.<mu>.Lock() / RLock() calls and returns the set of mutex field names
+// locked anywhere in it.
+func heldMutexes(p *Pass, fd *ast.FuncDecl) map[string]bool {
+	return heldMutexesIn(p, fd.Body)
+}
+
+func heldMutexesIn(p *Pass, body *ast.BlockStmt) map[string]bool {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		// sel.X is <something>.<mu> or <mu>; record the final field name.
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true
+		case *ast.Ident:
+			held[x.Name] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a stdlib-only stand-in for the x/tools nilness pass, reduced to
+// its highest-confidence case: inside a branch that is only reached when a
+// variable is known to be nil (`if x == nil { ... }`, or the else arm of
+// `if x != nil`), the variable is dereferenced — a guaranteed panic.
+//
+// Reported dereference shapes: field selection through a nil pointer,
+// explicit *x, indexing a nil slice, and calling a nil function value.
+// Scanning a branch stops at the first reassignment of the variable (it may
+// no longer be nil) and does not descend into nested function literals
+// (which run later, when the variable may have changed). Method calls are
+// not flagged: methods on nil receivers are legal and sometimes deliberate.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "dereference of a variable inside the branch that proves it nil",
+	Run:  runNilness,
+}
+
+func runNilness(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			v, id := nilComparedVar(p, ifs.Cond)
+			if v == nil {
+				return true
+			}
+			switch {
+			case isEq(ifs.Cond):
+				checkNilBranch(p, ifs.Body, v, id.Name)
+			default:
+				if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkNilBranch(p, blk, v, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparedVar matches `x == nil` / `x != nil` (either operand order) where
+// x is a plain identifier of pointer, slice, func or map type.
+func nilComparedVar(p *Pass, cond ast.Expr) (*types.Var, *ast.Ident) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, nil
+	}
+	x := ast.Unparen(be.X)
+	y := ast.Unparen(be.Y)
+	if isNilIdent(p, x) {
+		x, y = y, x
+	} else if !isNilIdent(p, y) {
+		return nil, nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Signature, *types.Map:
+		return v, id
+	}
+	return nil, nil
+}
+
+func isEq(cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && be.Op == token.EQL
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch walks the known-nil branch, reporting dereferences of v
+// until v is reassigned.
+func checkNilBranch(p *Pass, body *ast.BlockStmt, v *types.Var, name string) {
+	reassigned := false
+	refersToV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if refersToV(lhs) {
+					reassigned = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if refersToV(n.X) {
+				if s, ok := p.Info.Selections[n]; ok && s.Kind() == types.FieldVal {
+					if _, ptr := v.Type().Underlying().(*types.Pointer); ptr {
+						p.Reportf(n.Pos(), "field access on %q inside the branch where it is provably nil", name)
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if refersToV(n.X) {
+				p.Reportf(n.Pos(), "dereference of %q inside the branch where it is provably nil", name)
+			}
+		case *ast.IndexExpr:
+			if refersToV(n.X) {
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					p.Reportf(n.Pos(), "index of %q inside the branch where it is provably nil", name)
+				}
+			}
+		case *ast.CallExpr:
+			if refersToV(n.Fun) {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					p.Reportf(n.Pos(), "call of %q inside the branch where it is provably nil", name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc enforces the zero-allocation contract on functions marked
+// //optlint:noalloc — the per-draw hot paths whose AllocsPerRun budget tests
+// (sched, sim, noise, stats, obs) pin them at zero allocations. The budget
+// tests catch a regression at test time on the happy path they measure; this
+// analyzer catches it at compile review time on every path, including panic
+// and error branches the budgets never execute.
+//
+// Inside a marked function the following constructs are reported:
+//
+//   - function literals that capture variables (the closure header
+//     escapes);
+//   - explicit conversions to interface types, and []byte/[]rune ↔ string
+//     conversions (boxing / copying);
+//   - non-constant string concatenation;
+//   - any call into package fmt (formatting allocates, and boxes its
+//     arguments);
+//   - append (growth is unbounded; hot-path buffers are preallocated by
+//     their owners);
+//   - make, new, and taking the address of a composite literal.
+//
+// There is deliberately no line-scoped escape hatch: if a function needs one
+// of these constructs, it does not belong on the zero-alloc hot path — move
+// the construct to the caller or drop the marker.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocation-forcing constructs in functions marked //optlint:noalloc",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.FuncMarked(fd, VerbNoalloc) {
+				continue
+			}
+			checkNoalloc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if name, ok := capturesVariable(p, fd, n); ok {
+				p.Reportf(n.Pos(), "closure capturing %q allocates; noalloc functions must not close over variables", name)
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(p, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(p, n) {
+				p.Reportf(n.Pos(), "string concatenation allocates; preformat outside the hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.Info.TypeOf(n.Lhs[0])) {
+				p.Reportf(n.Pos(), "string concatenation allocates; preformat outside the hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "address of composite literal allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoallocCall classifies one call inside a noalloc body: a conversion
+// that boxes or copies, a builtin that allocates, or a fmt call.
+func checkNoallocCall(p *Pass, call *ast.CallExpr) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := p.Info.TypeOf(call.Args[0])
+		switch {
+		case types.IsInterface(dst) && src != nil && !types.IsInterface(src):
+			p.Reportf(call.Pos(), "conversion to interface type %s boxes its operand and allocates", types.TypeString(dst, types.RelativeTo(p.Types)))
+		case isStringType(dst) && src != nil && isByteOrRuneSlice(src):
+			p.Reportf(call.Pos(), "conversion between string and %s copies and allocates", src)
+		case isByteOrRuneSlice(dst) && src != nil && isStringType(src):
+			p.Reportf(call.Pos(), "conversion between string and %s copies and allocates", dst)
+		}
+		return
+	}
+	switch obj := calleeFunc(p.Info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "append":
+			p.Reportf(call.Pos(), "append may grow its backing array; hot-path buffers must be preallocated by the caller")
+		case "make", "new":
+			p.Reportf(call.Pos(), "%s allocates", obj.Name())
+		}
+	case *types.Func:
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s allocates and boxes its arguments", obj.Name())
+		}
+	}
+}
+
+// capturesVariable reports the first variable the literal closes over: a
+// non-field variable declared inside the enclosing function but outside the
+// literal itself.
+func capturesVariable(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// isNonConstString reports a string-typed expression that the compiler
+// cannot fold to a constant.
+func isNonConstString(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && isStringType(tv.Type) && tv.Value == nil
+}

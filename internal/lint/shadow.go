@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// Shadow is a stdlib-only reimplementation of the x/tools shadow pass (which
+// stock `go vet` does not run). It reports an inner declaration that shadows
+// an outer variable of the identical type when the outer variable is still
+// used after the inner scope ends — the configuration where a `:=` that was
+// meant to be `=` silently discards a value (the classic shadowed-err bug).
+//
+// Deliberately narrower than x/tools shadow to stay quiet: package-level
+// shadows and shadows of differently-typed variables are not reported.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "inner declaration shadows a same-typed outer variable that is used after the inner scope",
+	Run:  runShadow,
+}
+
+func runShadow(p *Pass) error {
+	pkgScope := p.Types.Scope()
+	for id, obj := range p.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		inner := pkgScope.Innermost(v.Pos())
+		if inner == nil || inner == pkgScope || inner.Parent() == nil {
+			continue
+		}
+		_, outerObj := inner.Parent().LookupParent(id.Name, v.Pos())
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer == v || outer.IsField() {
+			continue
+		}
+		// Skip package-level shadows (idiomatic, and the package variable is
+		// trivially "used later" somewhere).
+		if outer.Parent() == pkgScope || outer.Parent() == types.Universe {
+			continue
+		}
+		if !types.Identical(v.Type(), outer.Type()) {
+			continue
+		}
+		if !usedAfter(p, outer, inner.End()) {
+			continue
+		}
+		p.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is used after this scope ends", id.Name, p.Fset.Position(outer.Pos()))
+	}
+	return nil
+}
+
+// usedAfter reports whether obj is referenced at any position after end.
+func usedAfter(p *Pass, obj types.Object, end token.Pos) bool {
+	for id, use := range p.Info.Uses {
+		if use == obj && id.Pos() > end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package atomics is an atomicguard fixture.
+package atomics
+
+import "sync/atomic"
+
+type counters struct {
+	legacy uint64 // accessed via atomic.* package functions below
+	v      atomic.Uint64
+	plain  int
+}
+
+func (c *counters) Inc() {
+	atomic.AddUint64(&c.legacy, 1)
+}
+
+func (c *counters) Racy() uint64 {
+	return c.legacy // want `field legacy is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) RacyWrite() {
+	c.legacy = 0 // want `field legacy is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) Typed() uint64 { return c.v.Load() }
+
+func (c *counters) TypedPtr() *atomic.Uint64 { return &c.v }
+
+func (c *counters) Copied() atomic.Uint64 {
+	return c.v // want `field v has atomic type`
+}
+
+func (c *counters) PlainIsFine() int {
+	c.plain++
+	return c.plain
+}
+
+func fresh() *counters {
+	// Composite literals are construction, not access.
+	return &counters{plain: 1}
+}

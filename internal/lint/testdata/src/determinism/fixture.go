@@ -1,0 +1,73 @@
+// Package sim is a determinism-analyzer fixture; the name puts it in the
+// result-affecting set.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	t0 := time.Now() // want `time\.Now in result-affecting package sim`
+	return time.Since(t0) // want `time\.Since in result-affecting package sim`
+}
+
+func annotatedAbove() time.Time {
+	//optlint:nondeterministic-ok fixture: justified on the line above
+	return time.Now()
+}
+
+func annotatedTrailing() time.Time {
+	return time.Now() //optlint:nondeterministic-ok fixture: justified on the same line
+}
+
+func notLineScoped() time.Time {
+	//optlint:nondeterministic-ok fixture: two lines up, must NOT suppress
+
+	return time.Now() // want `time\.Now in result-affecting package sim`
+}
+
+func spacedDirectiveDoesNotSuppress() time.Time {
+	// optlint:nondeterministic-ok fixture: spaced form, must NOT suppress
+	return time.Now() // want `time\.Now in result-affecting package sim`
+}
+
+func globalRNG() float64 {
+	return rand.Float64() // want `rand\.Float64 uses the process-global RNG`
+}
+
+func seededIsFine(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func mapAccumulates(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration assigns to non-loop-local state "total"`
+		total += v
+	}
+	return total
+}
+
+func mapCollectsAnnotated(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	//optlint:nondeterministic-ok fixture: caller sorts the collected values
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapDeletes(m, dead map[string]int) {
+	for k := range m { // want `map iteration deletes from non-loop-local state "dead"`
+		delete(dead, k)
+	}
+}
+
+func mapLoopLocalIsFine(m map[string]int) {
+	for k := range m {
+		n := len(k)
+		n++
+		_ = n
+	}
+}

@@ -1,0 +1,34 @@
+// Package directives is a directive-hygiene fixture. The want expectations
+// ride inside the directive comments themselves: the analyzer ignores
+// everything after the verb, while the test harness still reads the
+// backquoted pattern.
+package directives
+
+import "time"
+
+//optlint:nondetermnistic-ok typo'd verb -- want `unknown optlint directive "nondetermnistic-ok"`
+var bootTime = time.Now()
+
+// optlint:noalloc spaced form -- want `malformed directive: write //optlint:noalloc without a space`
+func spaced() {}
+
+// addAll is correctly marked: a function-doc directive draws no report.
+//
+//optlint:noalloc
+func addAll(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	//optlint:noalloc misplaced inside a body -- want `//optlint:noalloc only has effect in a function's doc comment`
+	return s
+}
+
+//optlint:floatboundary misplaced on a type -- want `//optlint:floatboundary only has effect in a function's doc comment`
+type codec struct{}
+
+func suppressionPlacementIsLegal() time.Time {
+	// A line-scoped suppression is a known verb anywhere; placement is the
+	// determinism analyzer's concern, not this one's.
+	return time.Now() //optlint:nondeterministic-ok fixture
+}

@@ -1,0 +1,39 @@
+// Package dist is a floatguard fixture; the analyzer only patrols the dist
+// wire codec.
+package dist
+
+import "math"
+
+func leakEncode(v float64) uint64 {
+	return math.Float64bits(v) // want `math\.Float64bits outside a //optlint:floatboundary helper`
+}
+
+func leakDecode(bits uint64) float64 {
+	return math.Float64frombits(bits) // want `math\.Float64frombits outside a //optlint:floatboundary helper`
+}
+
+// goodBoundary rejects non-finite values before the bit-cast, like the real
+// appendF64.
+//
+//optlint:floatboundary
+func goodBoundary(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return buf
+	}
+	_ = math.Float64bits(v)
+	return buf
+}
+
+// lazyBoundary is marked but never rejects anything.
+//
+//optlint:floatboundary
+func lazyBoundary(v float64) uint64 { // want `marked //optlint:floatboundary but performs no non-finite rejection`
+	return math.Float64bits(v)
+}
+
+// delegating forwards to a rejecting helper, which satisfies the contract.
+//
+//optlint:floatboundary
+func delegating(buf []byte, v float64) []byte {
+	return goodBoundary(buf, v)
+}

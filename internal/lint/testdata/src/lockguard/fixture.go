@@ -1,0 +1,61 @@
+// Package guard is a lockguard fixture.
+package guard
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+	// hits is documented with a doc comment instead of a trailing one.
+	// guarded by mu
+	hits int
+	free bool // undocumented: the analyzer has no opinion
+}
+
+func (c *counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) RLocking() int {
+	// RLock also counts as holding (the repo's RWMutex readers).
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) Bare() int {
+	return c.n // want `field guard\.n is documented .guarded by mu. but Bare neither locks mu`
+}
+
+func (c *counter) DocComment() int {
+	return c.hits // want `field guard\.hits is documented .guarded by mu.`
+}
+
+func (c *counter) Unguarded() bool { return c.free }
+
+func newCounter() *counter {
+	// Composite-literal keys are init-before-share and exempt.
+	return &counter{n: 1, hits: 2}
+}
+
+func (c *counter) LeakyGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		// The enclosing Lock is NOT held when this body runs.
+		c.n++ // want `field guard\.n is documented .guarded by mu.`
+	}()
+}
+
+func (c *counter) LockedClosure() {
+	fn := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+	fn()
+}

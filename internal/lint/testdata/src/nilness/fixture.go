@@ -1,0 +1,72 @@
+// Package nilcase is a nilness fixture.
+package nilcase
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefInNilBranch(n *node) *node {
+	if n == nil {
+		return n.next // want `field access on "n" inside the branch where it is provably nil`
+	}
+	return n
+}
+
+func derefInElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return (*n).val // want `dereference of "n" inside the branch where it is provably nil`
+	}
+}
+
+func yodaCondition(n *node) *node {
+	if nil == n {
+		return n.next // want `field access on "n" inside the branch where it is provably nil`
+	}
+	return n
+}
+
+func reassignedFirstIsFine(n *node) *node {
+	if n == nil {
+		n = &node{}
+		return n.next
+	}
+	return n
+}
+
+func nilSliceIndex(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of "xs" inside the branch where it is provably nil`
+	}
+	return xs[0]
+}
+
+func nilFuncCall(f func() int) int {
+	if f == nil {
+		return f() // want `call of "f" inside the branch where it is provably nil`
+	}
+	return f()
+}
+
+func nilMapReadIsFine(m map[string]int) int {
+	if m == nil {
+		return m["missing"] // reading a nil map is defined behavior
+	}
+	return m["present"]
+}
+
+func methodOnNilIsFine(n *node) int {
+	if n == nil {
+		return n.depth()
+	}
+	return n.depth()
+}
+
+func (n *node) depth() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.depth()
+}

@@ -1,0 +1,48 @@
+// Package hot is a noalloc-analyzer fixture.
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf []byte
+	n   int
+}
+
+// bad trips every rule the analyzer enforces.
+//
+//optlint:noalloc
+func bad(r *ring, label string, bs []byte) {
+	f := func() int { return r.n } // want `closure capturing "r" allocates`
+	_ = f
+	_ = fmt.Sprintf("%d", r.n) // want `fmt\.Sprintf allocates and boxes`
+	_ = any(r.n)               // want `conversion to interface type \S+ boxes`
+	_ = string(bs)             // want `conversion between string and \[\]byte copies`
+	_ = []byte(label)          // want `conversion between string and \[\]byte copies`
+	_ = label + "!"            // want `string concatenation allocates`
+	label += "!"               // want `string concatenation allocates`
+	r.buf = append(r.buf, 1)   // want `append may grow its backing array`
+	_ = make([]byte, 4)        // want `make allocates`
+	_ = new(ring)              // want `new allocates`
+	_ = &ring{}                // want `address of composite literal allocates`
+}
+
+// clean stays within the contract: arithmetic, field writes, calls to
+// non-fmt functions, and capture-free literals.
+//
+//optlint:noalloc
+func clean(r *ring, b byte) {
+	r.n++
+	if r.n < len(r.buf) {
+		r.buf[r.n] = b
+	}
+	g := func(x int) int { return x * 2 }
+	r.n = g(r.n)
+	const tag = "a" + "b" // constant folding, no runtime concat
+	_ = tag
+}
+
+// unmarked may allocate freely: the analyzer only patrols marked functions.
+func unmarked() []byte {
+	s := fmt.Sprintf("%d", 42)
+	return append([]byte(s), make([]byte, 8)...)
+}

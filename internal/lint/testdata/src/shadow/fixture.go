@@ -1,0 +1,39 @@
+// Package shadowcase is a shadow fixture.
+package shadowcase
+
+import "errors"
+
+func shadowedAndUsedAfter(flag bool) error {
+	var err error
+	if flag {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at`
+		_ = err
+	}
+	return err
+}
+
+func differentTypeIsFine(flag bool) error {
+	var err error
+	if flag {
+		err := 1 // int shadowing error: almost certainly deliberate
+		_ = err
+	}
+	return err
+}
+
+func notUsedAfterIsFine(flag bool) {
+	var err error
+	_ = err
+	if flag {
+		err := errors.New("inner")
+		_ = err
+	}
+}
+
+func reuseIsFine(flag bool) error {
+	err := errors.New("outer")
+	if flag {
+		err = errors.New("reassigned, not shadowed")
+	}
+	return err
+}

@@ -1,0 +1,49 @@
+// Package deadstore is an unusedwrite fixture.
+package deadstore
+
+func deadFinalStore(a, b int) int {
+	x := a + b
+	_ = x
+	x = a * b // want `value stored to "x" is never read`
+	return a
+}
+
+func readAfterIsFine(a, b int) int {
+	x := a
+	x = a * b
+	return x
+}
+
+func addrTakenIsFine(a int) int {
+	x := a
+	p := &x
+	x = a + 1
+	return *p
+}
+
+func capturedIsFine(a int) func() int {
+	x := a
+	x = a + 1
+	return func() int { return x }
+}
+
+func loopsAreSkipped(a int) int {
+	x := 0
+	sink := 0
+	for i := 0; i < a; i++ {
+		sink = x
+		x = i
+	}
+	return sink
+}
+
+func namedReturnIsFine() (x int) {
+	x = 1
+	return
+}
+
+func multiAssignIsFine(m map[int]int) {
+	v, ok := m[1]
+	v, ok = m[2]
+	_, _ = v, ok
+}

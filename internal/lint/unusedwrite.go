@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unusedwrite is a stdlib-only stand-in for the x/tools unusedwrite pass: it
+// reports a store to a local variable that nothing ever reads — the value is
+// computed, assigned, and discarded.
+//
+// The check is deliberately conservative, using source order as the proxy for
+// execution order. A function is skipped entirely if it contains a loop,
+// branch statement or label (back edges make source order lie); a variable is
+// skipped if its address is taken, if it is captured by a function literal,
+// or if it is a named return (the return reads it implicitly); and only
+// single-LHS plain `=` stores are candidates (removing one arm of a
+// multi-assignment would change the statement's meaning, and `:=` stores
+// that are never read are already a compile error). What is left is the
+// unambiguous case: a store to a plain local after which the variable is
+// never mentioned again.
+var Unusedwrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "store to a local variable that is never subsequently read",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(p *Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnusedWrites(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkUnusedWrites(p *Pass, fd *ast.FuncDecl) {
+	skipAll := false
+	skipVar := map[*types.Var]bool{}
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			for _, name := range r.Names {
+				if v, ok := p.Info.Defs[name].(*types.Var); ok {
+					skipVar[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.BranchStmt, *ast.LabeledStmt:
+			skipAll = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := p.Info.Uses[id].(*types.Var); ok {
+						skipVar[v] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Anything mentioned inside a closure may run at any time.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := p.Info.Uses[id].(*types.Var); ok {
+						skipVar[v] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return !skipAll
+	})
+	if skipAll {
+		return
+	}
+
+	local := func(id *ast.Ident) *types.Var {
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || skipVar[v] {
+			return nil
+		}
+		if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+			return nil
+		}
+		return v
+	}
+
+	// Classify every mention: plain-`=` LHS idents are writes; every other
+	// use is a read. Single-LHS writes are the dead-store candidates.
+	writeIdent := map[*ast.Ident]bool{}
+	type candidate struct {
+		v    *types.Var
+		name string
+		pos  token.Pos
+	}
+	var candidates []candidate
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := local(id)
+			if v == nil {
+				continue
+			}
+			writeIdent[id] = true
+			if len(as.Lhs) == 1 {
+				candidates = append(candidates, candidate{v, id.Name, id.Pos()})
+			}
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+	lastRead := map[*types.Var]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writeIdent[id] {
+			return true
+		}
+		if v := local(id); v != nil && id.Pos() > lastRead[v] {
+			lastRead[v] = id.Pos()
+		}
+		return true
+	})
+	for _, c := range candidates {
+		if lastRead[c.v] <= c.pos {
+			p.Reportf(c.pos, "value stored to %q is never read", c.name)
+		}
+	}
+}

@@ -53,6 +53,8 @@ func NewAccumulator(f, sigma0 float64) *Accumulator {
 
 // Sample accrues dt additional seconds of sampling, drawing the noise
 // increment from rng. dt must be positive.
+//
+//optlint:noalloc
 func (a *Accumulator) Sample(dt float64, rng *rand.Rand) {
 	a.ApplyDraw(dt, rng.NormFloat64())
 }
@@ -63,6 +65,8 @@ func (a *Accumulator) Sample(dt float64, rng *rand.Rand) {
 // draw is computed by a worker process from the point's stream seed: applying
 // the same z sequence yields the same state bit for bit, wherever the draws
 // were produced. dt must be positive.
+//
+//optlint:noalloc
 func (a *Accumulator) ApplyDraw(dt, z float64) {
 	if dt <= 0 {
 		panic("noise: Sample requires dt > 0")
@@ -81,6 +85,8 @@ func (a *Accumulator) ApplyDraw(dt, z float64) {
 // hoisted out of the loop and the Welford fold runs in one pass, but every
 // operation associates exactly as len(zs) sequential ApplyDraw calls would,
 // so the resulting state is bitwise identical. dt must be positive.
+//
+//optlint:noalloc
 func (a *Accumulator) ApplyDraws(dt float64, zs []float64) {
 	if len(zs) == 0 {
 		return
@@ -187,7 +193,7 @@ func (a *Accumulator) Increments() int { return a.n }
 type Stream struct {
 	*Accumulator
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu (the pointer is fixed; mu serializes draws)
 }
 
 // NewStream builds the sampling stream for a point with noise-free value f,
@@ -202,6 +208,8 @@ func NewStream(f, sigma0 float64, seed int64) *Stream {
 
 // Sample accrues dt additional seconds of sampling, drawing the noise
 // increment from the stream's private RNG.
+//
+//optlint:noalloc
 func (s *Stream) Sample(dt float64) {
 	s.mu.Lock()
 	s.Accumulator.Sample(dt, s.rng)
@@ -216,6 +224,8 @@ func (s *Stream) Sample(dt float64) {
 // replays Increments() draws) stays exact. When z really came from a replica
 // of this stream, the discarded local draw is bit-identical to z; the remote
 // worker merely paid the simulation cost of producing it.
+//
+//optlint:noalloc
 func (s *Stream) ApplyDraw(dt, z float64) {
 	s.mu.Lock()
 	s.rng.NormFloat64()
@@ -228,6 +238,8 @@ func (s *Stream) ApplyDraw(dt, z float64) {
 // the position == increment-count invariant) and the accumulator applies the
 // batch through Accumulator.ApplyDraws. Bitwise identical to len(zs)
 // sequential ApplyDraw calls.
+//
+//optlint:noalloc
 func (s *Stream) ApplyDraws(dt float64, zs []float64) {
 	if len(zs) == 0 {
 		return

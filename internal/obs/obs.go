@@ -57,6 +57,8 @@ func Enabled() bool { return enabled.Load() }
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//optlint:noalloc
 func (c *Counter) Inc() {
 	if enabled.Load() {
 		c.v.Add(1)
@@ -65,6 +67,8 @@ func (c *Counter) Inc() {
 
 // Add adds n. Counters are monotonic: n must be >= 0 (negative deltas are
 // ignored rather than corrupting the series).
+//
+//optlint:noalloc
 func (c *Counter) Add(n int64) {
 	if n > 0 && enabled.Load() {
 		c.v.Add(n)
@@ -72,6 +76,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count.
+//
+//optlint:noalloc
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a metric that can go up and down (queue depths, worker
@@ -79,6 +85,8 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set replaces the gauge value.
+//
+//optlint:noalloc
 func (g *Gauge) Set(v float64) {
 	if enabled.Load() {
 		g.bits.Store(math.Float64bits(v))
@@ -86,6 +94,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adjusts the gauge by delta (negative to decrease).
+//
+//optlint:noalloc
 func (g *Gauge) Add(delta float64) {
 	if !enabled.Load() {
 		return
@@ -100,12 +110,18 @@ func (g *Gauge) Add(delta float64) {
 }
 
 // Inc adds one.
+//
+//optlint:noalloc
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//
+//optlint:noalloc
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current gauge value.
+//
+//optlint:noalloc
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // LatencyBuckets is the default histogram bucket layout for durations in
@@ -140,6 +156,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//optlint:noalloc
 func (h *Histogram) Observe(v float64) {
 	if !enabled.Load() {
 		return

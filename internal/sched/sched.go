@@ -137,8 +137,8 @@ func (s *Scheduler) Close() {
 // (e.g. sampling a closed point must still crash the caller, not a worker).
 type panicBox struct {
 	mu  sync.Mutex
-	val any
-	set bool
+	val any  // guarded by mu
+	set bool // guarded by mu
 }
 
 func (p *panicBox) capture(v any) {
@@ -169,9 +169,9 @@ func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
 		mBusy.Inc()
 	}
 	mInflight.Inc()
-	start := time.Now()
+	start := time.Now() //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	err := s.do(ctx, tasks)
-	mBatchSeconds.Observe(time.Since(start).Seconds())
+	mBatchSeconds.Observe(time.Since(start).Seconds()) //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	mBatches.Inc()
 	mTasks.Add(int64(len(tasks)))
 	mInflight.Dec()
@@ -184,18 +184,7 @@ func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
 // do is the uninstrumented batch body behind Do.
 func (s *Scheduler) do(ctx context.Context, tasks []func()) error {
 	if s.workers == 1 || len(tasks) == 1 {
-		for _, fn := range tasks {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			select {
-			case <-s.quit:
-				return ErrClosed
-			default:
-			}
-			fn()
-		}
-		return nil
+		return s.doSerial(ctx, tasks)
 	}
 
 	s.start()
@@ -311,9 +300,9 @@ func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
 		mBusy.Inc()
 	}
 	mInflight.Inc()
-	start := time.Now()
+	start := time.Now() //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	err := s.doN(ctx, n, fn)
-	mBatchSeconds.Observe(time.Since(start).Seconds())
+	mBatchSeconds.Observe(time.Since(start).Seconds()) //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	mBatches.Inc()
 	mTasks.Add(int64(n))
 	mInflight.Dec()
@@ -323,21 +312,51 @@ func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
 	return err
 }
 
+// doSerial runs a batch in the caller's goroutine — the fast path taken when
+// the pool is serial or the batch has one task. It is on the per-draw
+// zero-allocation budget (see alloc_test.go), so it must stay free of
+// closures, appends and boxing.
+//
+//optlint:noalloc
+func (s *Scheduler) doSerial(ctx context.Context, tasks []func()) error {
+	for _, fn := range tasks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-s.quit:
+			return ErrClosed
+		default:
+		}
+		fn()
+	}
+	return nil
+}
+
+// doNSerial runs an indexed batch in the caller's goroutine — the fast path
+// taken when the pool is serial or the batch has one index. Like doSerial it
+// is on the per-draw zero-allocation budget.
+//
+//optlint:noalloc
+func (s *Scheduler) doNSerial(ctx context.Context, n int, fn func(i int)) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-s.quit:
+			return ErrClosed
+		default:
+		}
+		fn(i)
+	}
+	return nil
+}
+
 // doN is the uninstrumented batch body behind DoN.
 func (s *Scheduler) doN(ctx context.Context, n int, fn func(i int)) error {
 	if s.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			select {
-			case <-s.quit:
-				return ErrClosed
-			default:
-			}
-			fn(i)
-		}
-		return nil
+		return s.doNSerial(ctx, n, fn)
 	}
 
 	s.start()
@@ -388,6 +407,8 @@ dispatch:
 // Pseudorandom Number Generators"). Distinct (base, stream) pairs map to
 // well-separated seeds, so per-point noise streams are independent of each
 // other and of the order in which points are sampled.
+//
+//optlint:noalloc
 func StreamSeed(base, stream int64) int64 {
 	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(stream+1)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

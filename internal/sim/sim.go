@@ -398,6 +398,8 @@ func (p *localPoint) Sample(dt float64) {
 // noise draw from the point's private stream, and the evaluation count. It
 // is the unit of work dispatched to the sched pool and touches no state
 // shared across points except the atomic counter.
+//
+//optlint:noalloc
 func (p *localPoint) sample(dt float64) {
 	if p.closed {
 		panic("sim: Sample on closed point")

@@ -194,6 +194,8 @@ type Welford struct {
 }
 
 // Add folds one observation into the accumulator.
+//
+//optlint:noalloc
 func (w *Welford) Add(x float64) {
 	w.n++
 	d := x - w.mean
@@ -207,6 +209,8 @@ func (w *Welford) Add(x float64) {
 // sequential recurrence of Add — batching changes call overhead, never
 // arithmetic — so the result is bitwise identical to adding the observations
 // one at a time, which is what the determinism contract requires.
+//
+//optlint:noalloc
 func (w *Welford) AddBatch(xs []float64) {
 	n, mean, m2 := w.n, w.mean, w.m2
 	for _, x := range xs {
