@@ -39,6 +39,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -50,10 +51,16 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 4, "jobs running simultaneously")
 		workers    = flag.Int("workers", 0, "shared sampling fleet size (0 = GOMAXPROCS)")
 		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
+		storeKind  = flag.String("store", "file", "durable job store kind: file (one file per job) or wal (append-only log)")
 		ckptEvery  = flag.Int("checkpoint-every", 20, "iterations between checkpoints")
 		seed       = flag.Int64("seed", 1, "default random seed for specs that omit one")
 		noRecover  = flag.Bool("no-recover", false, "skip resuming checkpointed jobs at startup")
 		traceBufSz = flag.Int("trace-buffer", 256, "per-subscriber progress event buffer")
+
+		tenantMaxQueued  = flag.Int("tenant-max-queued", 0, "per-tenant queued-job cap (0 = unlimited)")
+		tenantMaxRunning = flag.Int("tenant-max-running", 0, "per-tenant running-job cap (0 = unlimited)")
+		tenantRate       = flag.Float64("tenant-rate", 0, "per-tenant submissions/sec token-bucket rate (0 = unlimited)")
+		tenantBurst      = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = derive from rate)")
 	)
 	flag.Parse()
 	fmt.Printf("optd starting: addr=%s fleet-addr=%q seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
@@ -83,10 +90,17 @@ func main() {
 		MaxConcurrent:   *maxConc,
 		Workers:         *workers,
 		CheckpointDir:   *ckptDir,
+		StoreKind:       *storeKind,
 		CheckpointEvery: *ckptEvery,
 		TraceBuffer:     *traceBufSz,
 		Fleet:           fleetSampler,
 		Events:          events,
+		DefaultQuota: jobs.Quota{
+			MaxQueued:  *tenantMaxQueued,
+			MaxRunning: *tenantMaxRunning,
+			RatePerSec: *tenantRate,
+			Burst:      *tenantBurst,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -110,7 +124,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("optd listening on %s\n", ln.Addr())
-	srv := &http.Server{Handler: newServer(mgr, fleet, *seed)}
+	srv := &http.Server{Handler: serve.New(serve.Config{Mgr: mgr, Fleet: fleet, DefaultSeed: *seed, Events: events})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

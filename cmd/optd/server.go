@@ -1,256 +1,17 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"runtime/debug"
-	"strings"
-	"time"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/jobs"
-	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
-// server adapts a jobs.Manager to HTTP/JSON. Endpoints:
-//
-//	GET    /healthz              readiness probe: build info, uptime, pool
-//	                             width, job counts by state
-//	GET    /strategies           the registered optimization strategies
-//	POST   /v1/jobs              submit a job (body: jobs.Spec) -> {"id": ...}
-//	GET    /v1/jobs              list all jobs
-//	GET    /v1/jobs/{id}         job status
-//	GET    /v1/jobs/{id}/result  final result (409 until terminal)
-//	GET    /v1/jobs/{id}/trace   NDJSON stream of progress events
-//	POST   /v1/jobs/{id}/cancel  request cancellation
-//	DELETE /v1/jobs/{id}         request cancellation (alias)
-//	GET    /metrics              Prometheus text exposition of the obs registry
-//	GET    /debug/pprof/...      net/http/pprof profiles
-//
-// A known path with the wrong method returns 405 with an Allow header and a
-// JSON error body, so load balancers and clients see a structured answer
-// instead of the mux default.
-type server struct {
-	mgr *jobs.Manager
-	// fleet is the remote-worker coordinator when -fleet-addr is set; its
-	// status is served in /healthz. Nil without a fleet.
-	fleet *dist.Coordinator
-	// defaultSeed is applied to submitted specs that leave Seed zero, so
-	// every job is reproducible from the server log plus its spec.
-	defaultSeed int64
-	// started anchors the /healthz uptime report.
-	started time.Time
-}
-
-// newServer builds the HTTP handler.
+// newServer builds the optd HTTP handler. The implementation lives in
+// internal/serve so the shard router and the serve bench harness can embed
+// the exact production handler in-process; this shim keeps the historical
+// cmd/optd constructor shape for main and the tests.
 func newServer(mgr *jobs.Manager, fleet *dist.Coordinator, defaultSeed int64) http.Handler {
-	s := &server{mgr: mgr, fleet: fleet, defaultSeed: defaultSeed, started: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("GET /strategies", s.strategies)
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	obs.Default().RegisterDebug(mux)
-	// Method-less fallbacks: less specific than the method patterns above,
-	// they match only requests whose method is not served on that path.
-	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
-	mux.HandleFunc("/strategies", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/jobs", methodNotAllowed("GET", "POST"))
-	mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET", "DELETE"))
-	mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/jobs/{id}/trace", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
-	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
-	return mux
-}
-
-// methodNotAllowed builds the 405 handler for one path: the Allow header
-// lists the methods the path does serve.
-func methodNotAllowed(allow ...string) http.HandlerFunc {
-	allowed := strings.Join(allow, ", ")
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Allow", allowed)
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
-			"error": fmt.Sprintf("method %s not allowed; allowed: %s", r.Method, allowed),
-		})
-	}
-}
-
-// writeJSON sends one JSON response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-// writeErr maps manager errors to HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, jobs.ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, jobs.ErrClosed):
-		code = http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// buildInfo extracts the Go toolchain version and VCS revision baked into
-// the binary (empty when built without VCS stamping, e.g. in tests).
-func buildInfo() (goVersion, revision string) {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "", ""
-	}
-	goVersion = bi.GoVersion
-	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			revision = s.Value
-		}
-	}
-	return goVersion, revision
-}
-
-func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	goVersion, revision := buildInfo()
-	st := s.mgr.Stats()
-	body := map[string]any{
-		"ok":             true,
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"go_version":     goVersion,
-		"revision":       revision,
-		"workers":        st.Workers,
-		"max_concurrent": st.MaxConcurrent,
-		"jobs": map[string]int{
-			"queued":   st.Queued,
-			"running":  st.Running,
-			"done":     st.Done,
-			"failed":   st.Failed,
-			"canceled": st.Canceled,
-		},
-	}
-	if s.fleet != nil {
-		body["fleet"] = s.fleet.Status()
-	}
-	body["metrics"] = obs.Default().Snapshot()
-	writeJSON(w, http.StatusOK, body)
-}
-
-// strategies lists what this server can run: every strategy in the core
-// registry, with aliases and resumability (resumable strategies support
-// durable checkpoint/recover across server restarts).
-func (s *server) strategies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"strategies": core.StrategyInfos()})
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var spec jobs.Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad spec: %v", err)})
-		return
-	}
-	if spec.Seed == 0 {
-		spec.Seed = s.defaultSeed
-	}
-	id, err := s.mgr.Submit(spec)
-	if err != nil {
-		if errors.Is(err, jobs.ErrClosed) {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
-}
-
-func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	st, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	st, err := s.mgr.Get(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if !st.State.Terminal() {
-		writeJSON(w, http.StatusConflict, map[string]string{
-			"error": fmt.Sprintf("job %s is %s", id, st.State),
-		})
-		return
-	}
-	res, err := s.mgr.Result(id)
-	if err != nil {
-		if errors.Is(err, jobs.ErrNotFound) {
-			// Evicted by retention churn between the two lookups.
-			writeErr(w, err)
-			return
-		}
-		// Terminal without a result (failed, or canceled before starting):
-		// surface the run error with the status.
-		writeJSON(w, http.StatusOK, map[string]any{"state": st.State, "error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"state": st.State, "result": res})
-}
-
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	if err := s.mgr.Cancel(r.PathValue("id")); err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "canceling"})
-}
-
-// trace streams the job's progress as NDJSON: one jobs.Event per line,
-// flushed per event, ending when the job reaches a terminal state or the
-// client disconnects.
-func (s *server) trace(w http.ResponseWriter, r *http.Request) {
-	ch, cancel, err := s.mgr.Subscribe(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	defer cancel()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case e, ok := <-ch:
-			if !ok {
-				return
-			}
-			if err := enc.Encode(e); err != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
+	return serve.New(serve.Config{Mgr: mgr, Fleet: fleet, DefaultSeed: defaultSeed})
 }

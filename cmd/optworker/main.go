@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,7 +52,7 @@ const (
 
 func main() {
 	var (
-		connect   = flag.String("connect", "localhost:9090", "coordinator fleet address")
+		connect   = flag.String("connect", "localhost:9090", "coordinator fleet address, or a comma-separated failover list (tried in rotation)")
 		name      = flag.String("name", hostname(), "worker label in fleet status")
 		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent task capacity")
 		latency   = flag.Duration("latency", 0, "simulated wait per task (models an external simulation)")
@@ -73,12 +74,16 @@ func main() {
 			os.Exit(exitBadProto)
 		}
 	}
-	// Resolve the coordinator address up front: a typo'd -connect must fail
-	// loudly at startup, not spin silently in the reconnect loop forever.
-	if _, err := net.ResolveTCPAddr("tcp", *connect); err != nil {
-		events.Event("worker_fatal", "err", err, "flag", "-connect")
-		fmt.Fprintf(os.Stderr, "optworker: cannot resolve -connect %q: %v\n", *connect, err)
-		os.Exit(exitBadTarget)
+	// Resolve every coordinator address up front: a typo'd -connect must
+	// fail loudly at startup, not spin silently in the reconnect loop
+	// forever.
+	addrs := strings.Split(*connect, ",")
+	for _, a := range addrs {
+		if _, err := net.ResolveTCPAddr("tcp", a); err != nil {
+			events.Event("worker_fatal", "err", err, "flag", "-connect")
+			fmt.Fprintf(os.Stderr, "optworker: cannot resolve -connect %q: %v\n", a, err)
+			os.Exit(exitBadTarget)
+		}
 	}
 	fmt.Printf("optworker starting: connect=%s name=%s capacity=%d latency=%s spin=%d proto=%s\n",
 		*connect, *name, *capacity, *latency, *spin, *proto)
@@ -95,7 +100,7 @@ func main() {
 	}
 
 	w := dist.NewWorker(dist.WorkerConfig{
-		Addr:       *connect,
+		Addrs:      addrs,
 		Name:       *name,
 		Capacity:   *capacity,
 		Protocol:   *proto,

@@ -435,6 +435,53 @@ func TestFleetWorkerReconnect(t *testing.T) {
 	}
 }
 
+// TestFleetWorkerMultiAddressFailover checks an agent configured with a
+// coordinator failover list re-homes: when its current coordinator dies,
+// the reconnect loop rotates to the next address and registers there.
+func TestFleetWorkerMultiAddressFailover(t *testing.T) {
+	c1 := NewCoordinator(Config{})
+	if err := c1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestCoordinator(t, Config{})
+	w := NewWorker(WorkerConfig{
+		Addrs:    []string{c1.Addr().String(), c2.Addr().String()},
+		Name:     "nomad",
+		Capacity: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.RunLoop(ctx)
+	}()
+	defer func() { cancel(); <-done }()
+
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer waitCancel()
+	if err := c1.WaitWorkers(waitCtx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// First coordinator dies for good; the agent must surface on the
+	// second and serve a batch there.
+	c1.Close()
+	waitCtx2, waitCancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel2()
+	if err := c2.WaitWorkers(waitCtx2, 1); err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	res, err := c2.SampleFleet(sctx, []sim.FleetRequest{{Objective: "sphere", X: []float64{2, 2}, Seed: 33, Dt: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedDraw(33, 0); res[0].Z != want {
+		t.Errorf("Z = %x, want %x", res[0].Z, want)
+	}
+}
+
 // TestFleetConcurrentBatches checks many simultaneous SampleFleet callers
 // (the jobs manager's shape: one batch per running job) all complete
 // correctly over one small fleet.

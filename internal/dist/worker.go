@@ -18,6 +18,13 @@ import (
 type WorkerConfig struct {
 	// Addr is the coordinator's registration address ("host:9090").
 	Addr string
+	// Addrs, when non-empty, lists fallback coordinator addresses (Addr
+	// included or not — it is prepended if set). Each dial attempt tries
+	// the next address in rotation, so a worker pointed at a sharded optd
+	// deployment re-homes to a surviving shard's fleet when its own
+	// coordinator dies. Safe because workers are stateless: a task result
+	// is a pure function of the task, whichever coordinator sent it.
+	Addrs []string
 	// Name labels the worker in fleet status (default "worker").
 	Name string
 	// Capacity is how many tasks the agent executes concurrently. Zero
@@ -58,6 +65,8 @@ type WorkerConfig struct {
 // die, or rejoin at any point of any run without affecting results.
 type Worker struct {
 	cfg        WorkerConfig
+	addrs      []string    // coordinator addresses, dialed in rotation
+	dialIdx    int         // next addrs entry to dial; only touched from Run's goroutine
 	events     *obs.Logger // cfg.Events, or cfg.Logf wrapped; nil-safe
 	objectives map[string]func([]float64) float64
 
@@ -102,6 +111,14 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		}
 	}
 	w := &Worker{cfg: cfg, streams: make(map[int64]*streamPos)}
+	if cfg.Addr != "" {
+		w.addrs = append(w.addrs, cfg.Addr)
+	}
+	for _, a := range cfg.Addrs {
+		if a != "" && a != cfg.Addr {
+			w.addrs = append(w.addrs, a)
+		}
+	}
 	w.events = cfg.Events
 	if w.events == nil {
 		w.events = obs.NewFuncLogger(cfg.Logf)
@@ -301,13 +318,26 @@ func (w *Worker) RunLoop(ctx context.Context) error {
 	}
 }
 
-// dial connects to the coordinator.
+// dial connects to the coordinator. With multiple configured addresses it
+// rotates: each attempt (so each RunLoop reconnect) tries the next one, and
+// a successful session leaves the rotation parked on the address that
+// worked, so a healthy coordinator keeps its workers until it actually
+// fails.
 func (w *Worker) dial(ctx context.Context) (net.Conn, error) {
 	if w.cfg.Dial != nil {
 		return w.cfg.Dial(ctx)
 	}
+	if len(w.addrs) == 0 {
+		return nil, errors.New("dist: no coordinator address configured")
+	}
+	addr := w.addrs[w.dialIdx%len(w.addrs)]
 	var d net.Dialer
-	return d.DialContext(ctx, "tcp", w.cfg.Addr)
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		w.dialIdx++ // next attempt tries the next coordinator
+		return nil, err
+	}
+	return conn, nil
 }
 
 // execute runs one task: the objective evaluation (the expensive simulation

@@ -91,6 +91,7 @@ func Registry() []Driver {
 		{"Fig3.20", "gOO(r) at successive optimization stages", Fig320},
 		{"BenchSched", "sched worker-pool scaling of SampleAll on an expensive objective", BenchSched},
 		{"BenchJobs", "jobs-service throughput and latency vs run-pool width", BenchJobs},
+		{"BenchServe", "sharded serving: router throughput/latency plus shard-kill failover recovery", BenchServe},
 	}
 }
 
@@ -100,6 +101,7 @@ func BenchJSONWriters() map[string]func(Options) ([]byte, error) {
 	return map[string]func(Options) ([]byte, error){
 		"BENCH_sched.json": SchedScalingJSON,
 		"BENCH_jobs.json":  JobsBenchJSON,
+		"BENCH_serve.json": ServeBenchJSON,
 	}
 }
 

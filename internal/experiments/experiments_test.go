@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"Fig3.3", "Fig3.4", "Fig3.5", "Fig3.6", "Fig3.7", "Fig3.8",
 		"Fig3.9", "Fig3.10", "Fig3.11", "Fig3.12", "Fig3.13", "Fig3.14",
 		"Fig3.15", "Fig3.16", "Fig3.17", "Fig3.18", "Fig3.19", "Fig3.20",
-		"BenchSched", "BenchJobs",
+		"BenchSched", "BenchJobs", "BenchServe",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -392,5 +392,36 @@ func TestBenchJobs(t *testing.T) {
 	}
 	if BenchJSONWriters()["BENCH_jobs.json"] == nil || BenchJSONWriters()["BENCH_sched.json"] == nil {
 		t.Fatal("BenchJSONWriters is missing an artifact")
+	}
+}
+
+// TestBenchServe smoke-runs the sharded-serving chaos study at quick scale:
+// the kill must actually orphan jobs, failover must recover all of them,
+// and every recovered result must match its uninterrupted reference run.
+func TestBenchServe(t *testing.T) {
+	res, err := ServeBench(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load.JobsPerSec <= 0 || res.Load.P99Ms < res.Load.P50Ms {
+		t.Fatalf("bad load phase: %+v", res.Load)
+	}
+	if res.Chaos.KilledShardJobs == 0 {
+		t.Fatal("chaos phase killed a shard with no jobs on it")
+	}
+	if !res.Chaos.Deterministic {
+		t.Fatal("recovered results diverged from uninterrupted reference runs")
+	}
+	// The dead-declaration window floors recovery (half of it in the worst
+	// probe alignment); an instant "recovery" means the kill never landed.
+	if res.Chaos.RecoverySeconds < res.Chaos.DeadAfterSeconds/2 {
+		t.Fatalf("recovery %.3fs implausibly beat the dead-declaration floor %.3fs",
+			res.Chaos.RecoverySeconds, res.Chaos.DeadAfterSeconds)
+	}
+	if out := serveBenchTable(res); !strings.Contains(out, "byte-identical") {
+		t.Fatalf("BenchServe render:\n%s", out)
+	}
+	if BenchJSONWriters()["BENCH_serve.json"] == nil {
+		t.Fatal("BenchJSONWriters is missing BENCH_serve.json")
 	}
 }

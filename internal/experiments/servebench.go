@@ -1,0 +1,529 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/testfunc"
+	"repro/internal/textplot"
+)
+
+// This file is the sharded-serving scenario behind BENCH_serve.json: a
+// two-shard optd deployment (each shard the real serve handler over a
+// WAL-backed jobs.Manager) behind the real shard router, driven over HTTP
+// by concurrent clients. Phase one measures steady-state serving (jobs/sec,
+// submit-to-done p50/p99 through the router). Phase two is the chaos leg:
+// a fresh load is pushed, shard 0 is killed mid-load (its evaluations
+// freeze and its listener drops — the in-process stand-in for SIGKILL; the
+// CI e2e kills a real optd process), and the harness measures how long the
+// router takes to declare it dead, fail its WAL over to the survivor and
+// drain every orphaned job — then verifies each recovered job's result is
+// byte-identical to an uninterrupted reference run of the same spec.
+
+// ServeBenchResult is the full study, serialized into BENCH_serve.json.
+type ServeBenchResult struct {
+	// Shards is the shard count (fixed at 2).
+	Shards int `json:"shards"`
+	// JobIterations is the per-job simplex iteration cap.
+	JobIterations int `json:"job_iterations"`
+	// PointLatencyUS is the simulated per-point-creation latency in
+	// microseconds.
+	PointLatencyUS int `json:"point_latency_us"`
+	// Clients is the number of concurrent submitting clients.
+	Clients int `json:"clients"`
+	// NumCPU records the host's core count.
+	NumCPU int `json:"num_cpu"`
+
+	// Load is the steady-state phase.
+	Load ServeLoad `json:"load"`
+	// Chaos is the shard-kill phase.
+	Chaos ServeChaos `json:"chaos"`
+}
+
+// ServeLoad is the steady-state serving measurement.
+type ServeLoad struct {
+	// Jobs is the number of jobs pushed through the router.
+	Jobs int `json:"jobs"`
+	// WallSeconds is submit-to-drain wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// JobsPerSec is Jobs / WallSeconds.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50Ms and P99Ms are submit-to-done latency percentiles through the
+	// router, in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// ServeChaos is the shard-kill measurement.
+type ServeChaos struct {
+	// Jobs is the chaos-phase load size.
+	Jobs int `json:"jobs"`
+	// KilledShardJobs is how many of them were placed on the killed shard.
+	KilledShardJobs int `json:"killed_shard_jobs"`
+	// RecoveredJobs is how many were still pending at the kill and were
+	// failed over to the survivor.
+	RecoveredJobs int `json:"recovered_jobs"`
+	// DeadAfterSeconds is the router's configured unreachable-to-dead
+	// window (a floor on recovery time).
+	DeadAfterSeconds float64 `json:"dead_after_seconds"`
+	// RecoverySeconds is kill-to-drain: from the instant the shard died to
+	// the last orphaned job finishing on the survivor.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	// WallSeconds is the whole chaos phase, submit to drain.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Deterministic reports whether every recovered job's result was
+	// byte-identical to an uninterrupted reference run.
+	Deterministic bool `json:"deterministic"`
+}
+
+// benchShard is one in-process replica: the production handler over a
+// WAL-backed manager, plus a freeze switch standing in for SIGKILL.
+type benchShard struct {
+	mgr    *jobs.Manager
+	ts     *httptest.Server
+	frozen atomic.Bool
+	gate   chan struct{}
+}
+
+func (s *benchShard) addr() string { return strings.TrimPrefix(s.ts.URL, "http://") }
+
+// kill freezes the shard's evaluations (running jobs stop making progress,
+// so nothing more is written to its WAL) and drops its listener. The
+// manager object is deliberately NOT closed: a crash doesn't run deferred
+// cleanup either.
+func (s *benchShard) kill() {
+	s.frozen.Store(true)
+	// Let evaluations already past the freeze check land, so the set of
+	// terminal jobs is stable when the survivor reads the WAL.
+	time.Sleep(50 * time.Millisecond)
+	s.ts.Close()
+}
+
+// release unfreezes a killed shard so its blocked goroutines can drain at
+// teardown (the bench process is long-lived; a real crash has no teardown).
+func (s *benchShard) release() { close(s.gate) }
+
+func newBenchShard(dir string, maxConcurrent int, delay time.Duration) (*benchShard, error) {
+	s := &benchShard{gate: make(chan struct{})}
+	mgr, err := jobs.New(jobs.Config{
+		MaxConcurrent: maxConcurrent,
+		CheckpointDir: dir,
+		StoreKind:     "wal",
+		Objectives: map[string]func([]float64) float64{
+			"latentrosen": func(x []float64) float64 {
+				if s.frozen.Load() {
+					<-s.gate
+				}
+				time.Sleep(delay)
+				return testfunc.Rosenbrock(x)
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mgr = mgr
+	s.ts = httptest.NewServer(serve.New(serve.Config{Mgr: mgr, DefaultSeed: 1}))
+	return s, nil
+}
+
+// serveSpec is the bench workload spec, seed-indexed.
+func serveSpec(seed int64, iters int) jobs.Spec {
+	return jobs.Spec{
+		Objective:     "latentrosen",
+		Dim:           3,
+		Algorithm:     "pc",
+		Sigma0:        50,
+		Seed:          seed,
+		Tol:           -1,
+		Budget:        1e12,
+		MaxIterations: iters,
+		Tenant:        fmt.Sprintf("team%d", seed%4),
+	}
+}
+
+// submitOne posts a spec through the router and returns the assigned ID.
+func submitOne(base string, spec jobs.Spec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.ID, nil
+}
+
+// pollDone polls a job through the router until it is terminal (or the
+// abandon check says its shard died with the result already finalized, or
+// the deadline passes). It tolerates transient proxy errors — that IS the
+// failover window.
+func pollDone(base, id string, abandon func(string) bool, deadline time.Time) (string, error) {
+	for time.Now().Before(deadline) {
+		if abandon != nil && abandon(id) {
+			return "abandoned", nil
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			var st struct {
+				State string `json:"state"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK {
+				switch st.State {
+				case "done", "failed", "canceled":
+					return st.State, nil
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return "", fmt.Errorf("job %s: poll deadline exceeded", id)
+}
+
+// drive pushes n jobs through the router with `clients` concurrent
+// submitters and waits for all of them, returning each job's ID,
+// submit-to-done latency and terminal state, in submission order.
+type driven struct {
+	id    string
+	state string
+	lat   time.Duration
+}
+
+func drive(base string, seed0 int64, n, iters, clients int, abandon func(string) bool, timeout time.Duration) ([]driven, error) {
+	out := make([]driven, n)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(timeout)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() { // per-iteration c: each client gets its own copy
+			defer wg.Done()
+			for i := c; i < n; i += clients {
+				start := time.Now()
+				// Submits retry through transient router errors: a 502
+				// during the dead-declaration window is expected chaos, not
+				// a bench failure.
+				var id string
+				var err error
+				for {
+					id, err = submitOne(base, serveSpec(seed0+int64(i), iters))
+					if err == nil || time.Now().After(deadline) {
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				out[i].id = id
+				state, err := pollDone(base, id, abandon, deadline)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				out[i].state = state
+				out[i].lat = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// referenceResult runs spec to completion in a fresh standalone manager and
+// returns its result serialized — the uninterrupted baseline the recovered
+// jobs must match byte for byte.
+func referenceResult(spec jobs.Spec, delay time.Duration) ([]byte, error) {
+	m, err := jobs.New(jobs.Config{
+		MaxConcurrent: 1,
+		Objectives: map[string]func([]float64) float64{
+			"latentrosen": func(x []float64) float64 {
+				time.Sleep(delay)
+				return testfunc.Rosenbrock(x)
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	id, err := m.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Wait(id)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// routedResult fetches a terminal job's result through the router, raw.
+func routedResult(base, id string) ([]byte, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK || out.Result == nil {
+		return nil, fmt.Errorf("result %s: HTTP %d: %s", id, resp.StatusCode, out.Error)
+	}
+	return out.Result, nil
+}
+
+// ServeBench runs the two-phase sharded-serving study.
+func ServeBench(opt Options) (*ServeBenchResult, error) {
+	loadJobs, chaosJobs, iters, clients := 48, 32, 25, 8
+	delay := 200 * time.Microsecond
+	deadAfter := time.Second
+	if opt.Quick {
+		loadJobs, chaosJobs, iters, clients = 16, 12, 10, 4
+		delay = 100 * time.Microsecond
+		deadAfter = 300 * time.Millisecond
+	}
+	res := &ServeBenchResult{
+		Shards:         2,
+		JobIterations:  iters,
+		PointLatencyUS: int(delay / time.Microsecond),
+		Clients:        clients,
+		NumCPU:         runtime.NumCPU(),
+	}
+
+	dir0, err := os.MkdirTemp("", "servebench-s0-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir0)
+	dir1, err := os.MkdirTemp("", "servebench-s1-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir1)
+
+	s0, err := newBenchShard(dir0, 2, delay)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { s0.release(); s0.mgr.Close() }()
+	s1, err := newBenchShard(dir1, 2, delay)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		s1.ts.Close()
+		s1.mgr.Close()
+	}()
+
+	router, err := shard.New(shard.Config{
+		Shards: []shard.Shard{
+			{Addr: s0.addr(), Dir: dir0, Store: "wal"},
+			{Addr: s1.addr(), Dir: dir1, Store: "wal"},
+		},
+		Probe:     25 * time.Millisecond,
+		DeadAfter: deadAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	front := httptest.NewServer(router.Handler())
+	defer front.Close()
+
+	// Phase 1: steady state.
+	start := time.Now()
+	loaded, err := drive(front.URL, 1000, loadJobs, iters, clients, nil, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	lats := make([]time.Duration, 0, len(loaded))
+	for _, d := range loaded {
+		if d.state != "done" {
+			return nil, fmt.Errorf("load job %s finished %s", d.id, d.state)
+		}
+		lats = append(lats, d.lat)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.Load = ServeLoad{
+		Jobs:        loadJobs,
+		WallSeconds: wall,
+		JobsPerSec:  float64(loadJobs) / wall,
+		P50Ms:       percentile(lats, 0.50),
+		P99Ms:       percentile(lats, 0.99),
+	}
+
+	// Phase 2: chaos. Submit the load, kill shard 0 mid-flight, measure
+	// kill-to-drain, and verify the recovered results.
+	var (
+		chaosMu   sync.Mutex
+		abandoned = map[string]bool{} // guarded by chaosMu: done-on-dead-shard IDs
+		killedAt  time.Time
+	)
+	abandon := func(id string) bool {
+		chaosMu.Lock()
+		defer chaosMu.Unlock()
+		return abandoned[id]
+	}
+	chaosStart := time.Now()
+	resultc := make(chan []driven, 1)
+	errc := make(chan error, 1)
+	go func() {
+		chased, err := drive(front.URL, 2000, chaosJobs, iters, clients, abandon, 2*time.Minute)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resultc <- chased
+	}()
+	// Kill once shard 0 actually has load on it.
+	for {
+		st := s0.mgr.Stats()
+		if st.Running > 0 || st.Queued > 0 {
+			break
+		}
+		if time.Since(chaosStart) > 30*time.Second {
+			return nil, fmt.Errorf("chaos: shard 0 never received load")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s0.kill()
+	killedAt = time.Now()
+	// A job that finished on shard 0 before the kill died with its shard:
+	// its record is deleted, so the survivor can never serve it. Its
+	// client abandons the poll instead of waiting forever.
+	chaosMu.Lock()
+	for _, st := range s0.mgr.List() {
+		if st.State.Terminal() {
+			abandoned[st.ID] = true
+		}
+	}
+	chaosMu.Unlock()
+	var chased []driven
+	select {
+	case chased = <-resultc:
+	case err := <-errc:
+		return nil, err
+	}
+	drained := time.Now()
+
+	killedShard, recovered := 0, 0
+	deterministic := true
+	for i, d := range chased {
+		if shard.Pick(d.id, 2) != 0 {
+			if d.state != "done" {
+				return nil, fmt.Errorf("chaos job %s on surviving shard finished %s", d.id, d.state)
+			}
+			continue
+		}
+		killedShard++
+		if d.state == "abandoned" {
+			continue // finished and died with shard 0
+		}
+		if d.state != "done" {
+			return nil, fmt.Errorf("chaos job %s on killed shard finished %s", d.id, d.state)
+		}
+		recovered++
+		got, err := routedResult(front.URL, d.id)
+		if err != nil {
+			return nil, err
+		}
+		want, err := referenceResult(serveSpec(2000+int64(i), iters), delay)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(got, want) {
+			deterministic = false
+		}
+	}
+	res.Chaos = ServeChaos{
+		Jobs:             chaosJobs,
+		KilledShardJobs:  killedShard,
+		RecoveredJobs:    recovered,
+		DeadAfterSeconds: deadAfter.Seconds(),
+		RecoverySeconds:  drained.Sub(killedAt).Seconds(),
+		WallSeconds:      drained.Sub(chaosStart).Seconds(),
+		Deterministic:    deterministic,
+	}
+	return res, nil
+}
+
+// ServeBenchJSON renders the study as the BENCH_serve.json payload.
+func ServeBenchJSON(opt Options) ([]byte, error) {
+	res, err := ServeBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(res, "", "  ")
+}
+
+// BenchServe renders the study as a table.
+func BenchServe(opt Options) (string, error) {
+	res, err := ServeBench(opt)
+	if err != nil {
+		return "", err
+	}
+	return serveBenchTable(res), nil
+}
+
+// serveBenchTable renders an already-computed study.
+func serveBenchTable(res *ServeBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded serving: %d shards, %d clients, %d iterations/job, %dus point latency, host cores=%d\n",
+		res.Shards, res.Clients, res.JobIterations, res.PointLatencyUS, res.NumCPU)
+	b.WriteString(textplot.Table(
+		[]string{"phase", "jobs", "wall (s)", "jobs/s", "p50 (ms)", "p99 (ms)"},
+		[][]string{{
+			"load",
+			fmt.Sprintf("%d", res.Load.Jobs),
+			fmt.Sprintf("%.3f", res.Load.WallSeconds),
+			fmt.Sprintf("%.1f", res.Load.JobsPerSec),
+			fmt.Sprintf("%.1f", res.Load.P50Ms),
+			fmt.Sprintf("%.1f", res.Load.P99Ms),
+		}},
+	))
+	fmt.Fprintf(&b, "chaos: %d jobs, %d on killed shard, %d recovered by failover; dead-after=%.2fs recovery=%.3fs\n",
+		res.Chaos.Jobs, res.Chaos.KilledShardJobs, res.Chaos.RecoveredJobs,
+		res.Chaos.DeadAfterSeconds, res.Chaos.RecoverySeconds)
+	fmt.Fprintf(&b, "recovered results byte-identical to uninterrupted reference runs: %v\n", res.Chaos.Deterministic)
+	return b.String()
+}

@@ -3,160 +3,189 @@ package jobs
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/fileio"
+	"repro/internal/jobstore"
 )
 
-// The durable checkpoint store: one JSON file per live job under
-// Config.CheckpointDir, written with fileio.WriteAtomic so a crash mid-write
-// leaves the previous checkpoint intact. A checkpoint file is self-contained
-// — spec plus optimizer snapshot — so any process with this binary can
-// recover it.
+// The durable job layer over jobstore.Store. A record is self-contained —
+// spec plus (once the run has checkpointed) optimizer snapshot — so ANY
+// process with this binary can recover it: the record is written at
+// submission (spec only, so a job killed while still queued survives),
+// replaced with each snapshot, and deleted when the job completes.
 
-const ckptSuffix = ".ckpt.json"
+// ckptSuffix is re-exported for tests that inspect the file-store layout.
+const ckptSuffix = jobstore.FileSuffix
 
-// checkpointFile is the on-disk layout.
+// checkpointFile is the stored record layout.
 type checkpointFile struct {
-	// ID is the job ID, echoed inside the file so a moved/renamed file is
-	// still attributable.
+	// ID is the job ID, echoed inside the record so a moved/copied record
+	// is still attributable.
 	ID string `json:"id"`
 	// Saved is the wall-clock write time.
 	Saved time.Time `json:"saved"`
 	// Spec rebuilds the space and config.
 	Spec Spec `json:"spec"`
-	// Snapshot fast-forwards the optimizer.
+	// Snapshot fast-forwards the optimizer. Nil for a job that never
+	// reached its first checkpoint: recovery re-runs it from the spec
+	// (bitwise-identically — the run is a pure function of the spec).
 	Snapshot *core.Snapshot `json:"snapshot"`
 }
 
-func (m *Manager) ckptPath(id string) string {
-	return filepath.Join(m.cfg.CheckpointDir, id+ckptSuffix)
-}
-
-func (m *Manager) initCheckpointDir() error {
-	if err := os.MkdirAll(m.cfg.CheckpointDir, 0o755); err != nil {
-		return fmt.Errorf("jobs: %w", err)
-	}
-	// A crash mid-WriteAtomic leaves an orphaned temp file (the previous
-	// checkpoint is intact); sweep them so they do not accumulate.
-	stale, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*"+ckptSuffix+".tmp-*"))
-	if err == nil {
-		for _, f := range stale {
-			os.Remove(f)
+// initStore opens the manager's own store (Config.Store, or the
+// CheckpointDir shorthand) and reserves every stored ID, so fresh
+// submissions made before (or instead of) Recover can never take an ID
+// whose record is still durable — a collision would orphan the
+// recoverable run and eventually delete its record.
+func (m *Manager) initStore() error {
+	if m.cfg.Store != nil {
+		m.store = m.cfg.Store
+	} else if m.cfg.CheckpointDir != "" {
+		st, err := jobstore.Open(m.cfg.StoreKind, m.cfg.CheckpointDir)
+		if err != nil {
+			return err
 		}
+		m.store = st
 	}
-	// Reserve the checkpointed IDs up front, so fresh submissions made
-	// before (or instead of) Recover can never take an ID whose checkpoint
-	// is still on disk — a collision would orphan the recoverable run and
-	// eventually delete its checkpoint.
-	ckpts, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*"+ckptSuffix))
-	if err == nil {
-		// Called from New before the manager is shared, so the lock is
-		// uncontended — held anyway to keep the guarded-by discipline on
-		// nextID locally checkable.
-		m.mu.Lock()
-		for _, f := range ckpts {
-			id := strings.TrimSuffix(filepath.Base(f), ckptSuffix)
-			if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
-				m.nextID = n
-			}
-		}
-		m.mu.Unlock()
+	if m.store == nil {
+		return nil
 	}
+	// List errors are tolerated here (Recover surfaces them); whatever was
+	// readable still gets its ID reserved.
+	recs, _ := m.store.List()
+	m.mu.Lock()
+	for _, rec := range recs {
+		m.reserved[rec.ID] = struct{}{}
+		m.bumpIDLocked(rec.ID)
+	}
+	m.mu.Unlock()
 	return nil
 }
 
-// saveCheckpoint persists the latest snapshot of a running job.
-func (m *Manager) saveCheckpoint(id string, spec Spec, snap *core.Snapshot) error {
-	if m.cfg.CheckpointDir == "" {
-		return nil
+// bumpIDLocked keeps auto-assigned IDs clear of id if it is j<number>-form.
+func (m *Manager) bumpIDLocked(id string) {
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
+		m.nextID = n
 	}
+}
+
+// marshalRecord encodes one durable job record.
+func marshalRecord(id string, spec Spec, snap *core.Snapshot) ([]byte, error) {
 	payload, err := json.Marshal(checkpointFile{ID: id, Saved: time.Now(), Spec: spec, Snapshot: snap})
-	if err != nil {
-		return fmt.Errorf("jobs: %w", err)
-	}
-	return fileio.WriteAtomic(m.ckptPath(id), payload, 0o644)
-}
-
-// removeCheckpoint deletes a job's checkpoint file, if any.
-func (m *Manager) removeCheckpoint(id string) {
-	if m.cfg.CheckpointDir == "" {
-		return
-	}
-	os.Remove(m.ckptPath(id))
-}
-
-// Recover scans the checkpoint directory and re-enqueues every checkpointed
-// job under its original ID, resuming from its last snapshot. It returns the
-// recovered job IDs (sorted). Call it once, after New and before Submit, in
-// a freshly started process; recovered and new jobs share the run pool.
-// Unreadable checkpoint files are skipped with an error, never deleted.
-func (m *Manager) Recover() ([]string, error) {
-	if m.cfg.CheckpointDir == "" {
-		return nil, nil
-	}
-	entries, err := os.ReadDir(m.cfg.CheckpointDir)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
+	return payload, nil
+}
+
+// saveCheckpoint persists the latest snapshot of a running job to the
+// store its record lives in.
+func (m *Manager) saveCheckpoint(j *job, snap *core.Snapshot) error {
+	if j.store == nil {
+		return nil
+	}
+	payload, err := marshalRecord(j.id, j.spec, snap)
+	if err != nil {
+		return err
+	}
+	return j.store.Put(j.id, payload)
+}
+
+// removeRecord deletes a job's durable record, if any. Deletion failures
+// are reported to the event log but not propagated: the worst outcome is
+// a completed job re-running (to the same result) after a recovery.
+func (m *Manager) removeRecord(j *job) {
+	if j.store == nil {
+		return
+	}
+	if err := j.store.Delete(j.id); err != nil {
+		m.cfg.Events.Event("checkpoint_delete_error", "job", j.id, "err", err)
+	}
+}
+
+// Recover re-enqueues every job recorded in the manager's own store under
+// its original ID — resuming from its last snapshot, or from the spec for
+// jobs that never checkpointed (killed while queued). It returns the
+// recovered job IDs (sorted). Call it once, after New and before Submit,
+// in a freshly started process; recovered and new jobs share the run pool.
+// Unreadable records are skipped with an error, never deleted. Recovered
+// jobs bypass tenant admission (quotas and rate limits bound NEW work; a
+// restart must never strand durable jobs), but they do count against the
+// tenant's running cap once dispatched.
+func (m *Manager) Recover() ([]string, error) {
+	if m.store == nil {
+		return nil, nil
+	}
+	return m.recoverFrom(m.store)
+}
+
+// RecoverFrom adopts every job recorded in st — a dead replica's store —
+// exactly as Recover does for the manager's own. The manager takes
+// ownership of st and closes it on Close; adopted jobs keep their records
+// (and future snapshots) in st, so a later recovery of that store still
+// finds them. This is the coordinator-failover primitive: a surviving
+// optd replica opens the dead shard's store and re-dispatches its jobs,
+// the same way the fleet coordinator re-dispatches a dead worker's tasks.
+func (m *Manager) RecoverFrom(st jobstore.Store) ([]string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.adopted = append(m.adopted, st)
+	m.mu.Unlock()
+	m.cfg.Events.Event("store_adopt", "kind", st.Kind())
+	return m.recoverFrom(st)
+}
+
+func (m *Manager) recoverFrom(st jobstore.Store) ([]string, error) {
+	recs, firstErr := st.List()
 	var ids []string
-	var firstErr error
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrClosed
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(m.cfg.CheckpointDir, name))
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("jobs: %w", err)
-			}
-			continue
-		}
+	for _, rec := range recs {
 		var ckpt checkpointFile
-		if err := json.Unmarshal(data, &ckpt); err != nil {
+		if err := json.Unmarshal(rec.Payload, &ckpt); err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("jobs: checkpoint %s: %w", name, err)
+				firstErr = fmt.Errorf("jobs: record %s: %w", rec.ID, err)
 			}
 			continue
 		}
 		id := ckpt.ID
-		if id == "" || ckpt.Snapshot == nil {
+		if id == "" {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("jobs: checkpoint %s is incomplete", name)
+				firstErr = fmt.Errorf("jobs: record %s is incomplete", rec.ID)
 			}
 			continue
 		}
 		if prev, exists := m.jobs[id]; exists {
-			if prev.resume != nil {
+			if prev.recovered {
 				continue // already recovered (double Recover call)
 			}
 			// A fresh submission took this ID: resuming would collide, and
-			// letting the fresh job finish would delete this checkpoint.
-			// Report it instead of losing the run silently (call Recover
-			// before Submit to avoid this).
+			// letting the fresh job finish would delete this record. Report
+			// it instead of losing the run silently (call Recover before
+			// Submit to avoid this).
 			if firstErr == nil {
-				firstErr = fmt.Errorf("jobs: checkpoint %s: job ID %s already taken by a fresh submission", name, id)
+				firstErr = fmt.Errorf("jobs: record %s: job ID %s already taken by a fresh submission", rec.ID, id)
 			}
 			continue
 		}
 		ckpt.Spec.normalize()
-		m.enqueueLocked(id, ckpt.Spec, ckpt.Snapshot)
-		// Keep fresh IDs clear of recovered ones.
-		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > m.nextID {
-			m.nextID = n
-		}
+		ts := m.tenantLocked(tenantOf(ckpt.Spec.Tenant))
+		ts.queued++
+		ts.mQueued.Set(float64(ts.queued))
+		j := m.enqueueLocked(id, ckpt.Spec, ckpt.Snapshot, true)
+		j.store = st
+		delete(m.reserved, id)
+		m.bumpIDLocked(id)
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

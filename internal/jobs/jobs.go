@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -109,10 +110,14 @@ type Event struct {
 
 // Status is the externally visible snapshot of a job.
 type Status struct {
-	ID    string `json:"id"`
-	Name  string `json:"name,omitempty"`
-	State State  `json:"state"`
-	Spec  Spec   `json:"spec"`
+	ID string `json:"id"`
+	// Name is the spec's optional human label.
+	Name string `json:"name,omitempty"`
+	// Tenant is the namespace the job is accounted to ("default" when the
+	// spec named none).
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
+	Spec   Spec   `json:"spec"`
 	// Created/Started/Finished are wall-clock lifecycle timestamps; zero
 	// until reached.
 	Created  time.Time `json:"created"`
@@ -142,10 +147,19 @@ type Config struct {
 	// Workers sizes the shared sched fleet all job spaces dispatch on.
 	// Zero selects GOMAXPROCS.
 	Workers int
-	// CheckpointDir, when non-empty, enables durable checkpoints: each
-	// running job persists its latest snapshot to <dir>/<id>.ckpt.json with
-	// atomic renames. The directory is created if missing.
+	// Store, when non-nil, is the durable job store: every accepted job is
+	// recorded in it at submission (so a killed-while-queued job survives),
+	// updated with each optimizer snapshot, and removed on completion. The
+	// manager takes ownership and closes it on Close.
+	Store jobstore.Store
+	// CheckpointDir is shorthand for Store: when Store is nil and
+	// CheckpointDir is non-empty, the manager opens a jobstore of StoreKind
+	// rooted there. The directory is created if missing.
 	CheckpointDir string
+	// StoreKind selects the CheckpointDir store layout: "file" (default,
+	// one atomically-renamed JSON file per job) or "wal" (single fsynced
+	// append-only log).
+	StoreKind string
 	// CheckpointEvery is the snapshot period in simplex iterations.
 	// Zero selects 20.
 	CheckpointEvery int
@@ -171,6 +185,11 @@ type Config struct {
 	// (job_state transitions, checkpoint writes and failures). A nil
 	// logger discards them.
 	Events *obs.Logger
+	// DefaultQuota applies to every tenant without an explicit entry in
+	// TenantQuotas. The zero Quota is unlimited.
+	DefaultQuota Quota
+	// TenantQuotas overrides DefaultQuota per tenant name.
+	TenantQuotas map[string]Quota
 }
 
 func (c *Config) normalize() {
@@ -190,8 +209,16 @@ func (c *Config) normalize() {
 
 // job is the manager's internal record of one run.
 type job struct {
-	id   string
-	spec Spec
+	id     string
+	spec   Spec
+	tenant string
+	// store holds the job's durable record (nil when the manager has no
+	// store). Adopted jobs keep the dead replica's store they came from,
+	// so their snapshots and cleanup land where a later recovery looks.
+	store jobstore.Store
+	// recovered marks jobs re-enqueued from a durable record (with or
+	// without a snapshot).
+	recovered bool
 
 	state    State
 	created  time.Time
@@ -205,7 +232,7 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	resume *core.Snapshot // non-nil when recovered from a checkpoint
+	resume *core.Snapshot // non-nil when recovered with a snapshot
 	done   chan struct{}
 
 	subs    map[int]chan Event
@@ -218,13 +245,22 @@ type Manager struct {
 	cfg  Config
 	pool *sched.Scheduler
 
+	// store is the manager's own durable store (nil when durability is
+	// off); adopted collects stores taken over via RecoverFrom. Both are
+	// set before the manager is shared (store) or append-only under mu
+	// (adopted), and every store is internally synchronized.
+	store   jobstore.Store
+	adopted []jobstore.Store // guarded by mu
+
 	mu       sync.Mutex
 	cond     *sync.Cond
-	jobs     map[string]*job // guarded by mu
-	queue    []*job          // guarded by mu
-	terminal []string        // guarded by mu: terminal job IDs, oldest first, for retention eviction
-	nextID   int             // guarded by mu
-	closed   bool            // guarded by mu
+	jobs     map[string]*job         // guarded by mu
+	queue    []*job                  // guarded by mu
+	terminal []string                // guarded by mu: terminal job IDs, oldest first, for retention eviction
+	tenants  map[string]*tenantState // guarded by mu
+	reserved map[string]struct{}     // guarded by mu: IDs spoken for (durable records not yet recovered, submissions mid-persist)
+	nextID   int                     // guarded by mu
+	closed   bool                    // guarded by mu
 
 	wg sync.WaitGroup
 }
@@ -241,15 +277,16 @@ var ErrClosed = errors.New("jobs: manager is closed")
 func New(cfg Config) (*Manager, error) {
 	cfg.normalize()
 	m := &Manager{
-		cfg:  cfg,
-		pool: sched.New(sched.Config{Workers: cfg.Workers}),
-		jobs: make(map[string]*job),
+		cfg:      cfg,
+		pool:     sched.New(sched.Config{Workers: cfg.Workers}),
+		jobs:     make(map[string]*job),
+		tenants:  make(map[string]*tenantState),
+		reserved: make(map[string]struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
-	if cfg.CheckpointDir != "" {
-		if err := m.initCheckpointDir(); err != nil {
-			return nil, err
-		}
+	if err := m.initStore(); err != nil {
+		m.pool.Close()
+		return nil, err
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
@@ -258,9 +295,10 @@ func New(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Close cancels every live job, waits for the run pool to drain, and
-// releases the worker fleet. Durable checkpoints of still-running jobs stay
-// on disk, so a new manager can Recover them.
+// Close cancels every live job, waits for the run pool to drain, releases
+// the worker fleet and closes the durable store(s). Records of queued and
+// running jobs stay durable, so a new manager — on this machine or any
+// replica sharing the store — can Recover them.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -272,42 +310,129 @@ func (m *Manager) Close() {
 		j.cancel()
 	}
 	m.cond.Broadcast()
+	stores := m.adopted
 	m.mu.Unlock()
 	m.wg.Wait()
 	m.pool.Close()
+	if m.store != nil {
+		m.store.Close()
+	}
+	for _, st := range stores {
+		st.Close()
+	}
 }
 
-// Submit validates the spec, assigns a job ID and enqueues the job. The job
-// starts as soon as a run-pool slot frees up.
+// Submit validates the spec, charges the tenant's quota and rate limit,
+// assigns a job ID, durably records the job (when a store is configured)
+// and enqueues it. The job starts as soon as a run-pool slot frees up.
 func (m *Manager) Submit(spec Spec) (string, error) {
+	return m.submit("", spec)
+}
+
+// SubmitWithID is Submit with a caller-chosen job ID — the shard router
+// uses it so the job's placement is a pure function of an ID the router
+// generated, and any replica can locate the job without shared state. The
+// ID must be storable (jobstore.ValidID) and not already in use; IDs of
+// the auto-assigned j<number> form reserve that number, so later automatic
+// IDs never collide with it.
+func (m *Manager) SubmitWithID(id string, spec Spec) (string, error) {
+	if err := jobstore.CheckID(id); err != nil {
+		return "", err
+	}
+	return m.submit(id, spec)
+}
+
+// submit is the two-phase admission path shared by Submit and
+// SubmitWithID. Phase one (under mu): validate, charge the tenant, assign
+// and reserve the ID. Phase two (outside mu — an fsync must never
+// serialize the manager): persist the record, then re-lock and enqueue.
+func (m *Manager) submit(explicit string, spec Spec) (string, error) {
 	spec.normalize()
 	if err := spec.validate(m); err != nil {
 		return "", err
 	}
+	tenant := tenantOf(spec.Tenant)
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return "", ErrClosed
 	}
-	m.nextID++
-	id := fmt.Sprintf("j%06d", m.nextID)
-	m.enqueueLocked(id, spec, nil)
+	id := explicit
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("j%06d", m.nextID)
+	} else {
+		if _, taken := m.jobs[id]; taken {
+			m.mu.Unlock()
+			return "", fmt.Errorf("jobs: job ID %s already taken", id)
+		}
+		if _, taken := m.reserved[id]; taken {
+			m.mu.Unlock()
+			return "", fmt.Errorf("jobs: job ID %s already taken", id)
+		}
+		m.bumpIDLocked(id)
+	}
+	ts := m.tenantLocked(tenant)
+	if err := m.admitLocked(ts, time.Now()); err != nil {
+		m.mu.Unlock()
+		return "", err
+	}
+	m.reserved[id] = struct{}{}
+	store := m.store
+	m.mu.Unlock()
+
+	if store != nil {
+		payload, err := marshalRecord(id, spec, nil)
+		if err == nil {
+			err = store.Put(id, payload)
+		}
+		if err != nil {
+			m.mu.Lock()
+			delete(m.reserved, id)
+			m.unadmitLocked(ts)
+			m.mu.Unlock()
+			return "", fmt.Errorf("jobs: persisting job %s: %w", id, err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.reserved, id)
+	if m.closed {
+		// Closed while persisting: the job was never enqueued, so drop the
+		// record — leaving it would resurrect a job the caller was told was
+		// rejected. A failed delete is harmless (re-running a spec is
+		// deterministic), so the error is not propagated.
+		if store != nil {
+			store.Delete(id)
+		}
+		m.unadmitLocked(ts)
+		return "", ErrClosed
+	}
+	ts.submitted++
+	ts.mSubmitted.Inc()
+	j := m.enqueueLocked(id, spec, nil, false)
+	j.store = store
 	return id, nil
 }
 
 // enqueueLocked registers a job (fresh or recovered) and wakes a runner.
-func (m *Manager) enqueueLocked(id string, spec Spec, resume *core.Snapshot) *job {
+// The caller has already charged the job's tenant with one queued slot.
+func (m *Manager) enqueueLocked(id string, spec Spec, resume *core.Snapshot, recovered bool) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:      id,
-		spec:    spec,
-		state:   StateQueued,
-		created: time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		resume:  resume,
-		done:    make(chan struct{}),
-		subs:    make(map[int]chan Event),
+		id:        id,
+		spec:      spec,
+		tenant:    tenantOf(spec.Tenant),
+		recovered: recovered,
+		state:     StateQueued,
+		created:   time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		resume:    resume,
+		done:      make(chan struct{}),
+		subs:      make(map[int]chan Event),
 	}
 	if resume != nil {
 		// Seed live progress from the snapshot immediately, so a client
@@ -322,15 +447,39 @@ func (m *Manager) enqueueLocked(id string, spec Spec, resume *core.Snapshot) *jo
 	}
 	m.jobs[id] = j
 	m.queue = append(m.queue, j)
-	if resume != nil {
+	if recovered {
 		mRecovered.Inc()
 	} else {
 		mSubmitted.Inc()
 	}
 	mQueuedGauge.Inc()
-	m.cfg.Events.Event("job_state", "job", id, "state", StateQueued, "resumed", resume != nil)
+	m.cfg.Events.Event("job_state", "job", id, "state", StateQueued, "tenant", j.tenant, "resumed", recovered)
 	m.cond.Signal()
 	return j
+}
+
+// dequeueLocked pops the first runnable job in FIFO order, skipping jobs
+// whose tenant is at its running cap (they keep their queue position, but
+// other tenants' jobs pass them — one capped tenant must not block the
+// pool). Queued jobs already canceled are finalized in place. Returns nil
+// when nothing is runnable right now.
+func (m *Manager) dequeueLocked() *job {
+	for i := 0; i < len(m.queue); i++ {
+		j := m.queue[i]
+		if j.ctx.Err() != nil {
+			// Canceled (or manager-closed) while still queued.
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.finishLocked(j, nil, nil, StateCanceled)
+			i--
+			continue
+		}
+		if ts, ok := m.tenants[j.tenant]; ok && ts.atRunCapLocked() {
+			continue
+		}
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		return j
+	}
+	return nil
 }
 
 // runner is one run-pool slot: it drains the FIFO queue until Close.
@@ -338,23 +487,20 @@ func (m *Manager) runner() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		var j *job
+		for {
+			if j = m.dequeueLocked(); j != nil || m.closed {
+				break
+			}
 			m.cond.Wait()
 		}
-		if m.closed && len(m.queue) == 0 {
+		if j == nil {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
-		if j.ctx.Err() != nil {
-			// Canceled (or manager-closed) while still queued.
-			m.finishLocked(j, nil, nil, StateCanceled)
-			m.mu.Unlock()
-			continue
-		}
 		j.state = StateRunning
 		j.started = time.Now()
+		m.tenantLocked(j.tenant).startLocked()
 		mQueuedGauge.Dec()
 		mRunningGauge.Inc()
 		mQueueSeconds.Observe(j.started.Sub(j.created).Seconds())
@@ -422,7 +568,7 @@ func (m *Manager) execute(j *job) (res *core.Result, err error) {
 		m.mu.Unlock()
 	}
 	checkpoint := func(s *core.Snapshot) {
-		if cerr := m.saveCheckpoint(j.id, j.spec, s); cerr != nil {
+		if cerr := m.saveCheckpoint(j, s); cerr != nil {
 			// A checkpoint that cannot be written must not kill the run; the
 			// job just loses durability from this point on. Surfaced as
 			// Status.CheckpointError, distinct from a run failure.
@@ -445,7 +591,7 @@ func (m *Manager) execute(j *job) (res *core.Result, err error) {
 		return nil, err
 	}
 	rs.Config.Trace = trace
-	if m.cfg.CheckpointDir != "" && j.spec.resumable() {
+	if j.store != nil && j.spec.resumable() {
 		rs.Config.Checkpoint = checkpoint
 		rs.Config.CheckpointEvery = m.cfg.CheckpointEvery
 	}
@@ -474,6 +620,12 @@ func (m *Manager) finishLocked(j *job, res *core.Result, err error, state State)
 		mRunningGauge.Dec()
 		mRunSeconds.Observe(j.finished.Sub(j.started).Seconds())
 	}
+	m.tenantLocked(j.tenant).finishLocked(prev)
+	if prev == StateRunning {
+		// A tenant that was at its running cap may have queued jobs a
+		// runner skipped; wake the pool to re-scan the queue.
+		m.cond.Broadcast()
+	}
 	switch state {
 	case StateDone:
 		mCompleted.Inc()
@@ -494,12 +646,12 @@ func (m *Manager) finishLocked(j *job, res *core.Result, err error, state State)
 	}
 	close(j.done)
 	if state == StateDone || (state == StateCanceled && !m.closed) {
-		// A completed or user-canceled job no longer needs its checkpoint.
+		// A completed or user-canceled job no longer needs its record.
 		// Failed jobs keep theirs (re-recoverable once the bug is fixed),
 		// and jobs canceled by Close keep theirs too — shutdown is the
-		// "kill" the durable-checkpoint design exists for, and a fresh
-		// manager picks them up with Recover.
-		m.removeCheckpoint(j.id)
+		// "kill" the durable-record design exists for, and a fresh manager
+		// (or an adopting replica) picks them up with Recover/RecoverFrom.
+		m.removeRecord(j)
 	}
 	// Retention: evict the oldest terminal records beyond the bound so a
 	// long-lived server's job table stays finite.
@@ -567,6 +719,11 @@ type Stats struct {
 	Workers int `json:"workers"`
 	// MaxConcurrent is the run-pool width.
 	MaxConcurrent int `json:"max_concurrent"`
+	// Store names the durable store kind ("file", "wal"; empty when
+	// durability is off).
+	Store string `json:"store,omitempty"`
+	// Tenants counts namespaces that have submitted or recovered jobs.
+	Tenants int `json:"tenants,omitempty"`
 	// Queued..Canceled count jobs by lifecycle state (terminal counts are
 	// bounded by Config.RetainTerminal).
 	Queued   int `json:"queued"`
@@ -580,7 +737,10 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := Stats{Workers: m.pool.Workers(), MaxConcurrent: m.cfg.MaxConcurrent}
+	st := Stats{Workers: m.pool.Workers(), MaxConcurrent: m.cfg.MaxConcurrent, Tenants: len(m.tenants)}
+	if m.store != nil {
+		st.Store = m.store.Kind()
+	}
 	for _, j := range m.jobs {
 		switch j.state {
 		case StateQueued:
@@ -614,6 +774,7 @@ func (m *Manager) statusLocked(j *job) Status {
 	st := Status{
 		ID:         j.id,
 		Name:       j.spec.Name,
+		Tenant:     j.tenant,
 		State:      j.state,
 		Spec:       j.spec,
 		Created:    j.created,
@@ -621,7 +782,7 @@ func (m *Manager) statusLocked(j *job) Status {
 		Finished:   j.finished,
 		Iterations: j.iter,
 		BestG:      j.bestG,
-		Resumed:    j.resume != nil,
+		Resumed:    j.recovered,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/testfunc"
 )
 
@@ -516,14 +517,18 @@ func TestRecoverCollisionRejected(t *testing.T) {
 		t.Fatal("fresh submission took a checkpointed ID")
 	}
 
-	// Forced collision (no checkpoint dir at New, so no reservation): the
-	// recover must report it rather than silently dropping the run.
+	// Forced collision (no store at New, so no reservation): adopting the
+	// directory after a fresh submission took j000001 must report the
+	// collision rather than silently dropping the run.
 	m2 := newManager(t, Config{})
-	m2.cfg.CheckpointDir = dir
 	if _, err := m2.Submit(spec); err != nil { // takes j000001
 		t.Fatal(err)
 	}
-	_, err = m2.Recover()
+	st, err := jobstore.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m2.RecoverFrom(st)
 	if err == nil || !strings.Contains(err.Error(), "already taken") {
 		t.Fatalf("collision not reported: %v", err)
 	}

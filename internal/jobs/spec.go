@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/jobstore"
 	"repro/internal/sim"
 	"repro/internal/testfunc"
 
@@ -26,6 +27,12 @@ import (
 type Spec struct {
 	// Name is an optional human label echoed in Status.
 	Name string `json:"name,omitempty"`
+	// Tenant is the namespace the job is accounted to: quotas and rate
+	// limits (Config.DefaultQuota, Config.TenantQuotas) apply per tenant,
+	// and the optd server scopes /v1/tenants/{tenant}/jobs to it. Empty
+	// means the "default" tenant. Tenant names share the record-ID
+	// character set (letters, digits, ., _, -).
+	Tenant string `json:"tenant,omitempty"`
 	// Objective names the objective function (e.g. "rosenbrock", "powell").
 	Objective string `json:"objective"`
 	// Dim is the parameter-space dimension.
@@ -112,6 +119,9 @@ const (
 
 // validate checks the spec against the manager's objective registry.
 func (s *Spec) validate(m *Manager) error {
+	if s.Tenant != "" && !jobstore.ValidID(s.Tenant) {
+		return fmt.Errorf("jobs: invalid Spec.Tenant %q (want letters, digits, '.', '_' or '-')", s.Tenant)
+	}
 	if s.Dim < 1 {
 		return errors.New("jobs: Spec.Dim must be >= 1")
 	}

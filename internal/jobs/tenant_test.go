@@ -1,0 +1,419 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+)
+
+// waitJobState polls until the job reaches the wanted state.
+func waitJobState(t *testing.T, m *Manager, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func tenantSpec(tenant string, seed int64) Spec {
+	spec := smallSpec(seed)
+	spec.Tenant = tenant
+	spec.MaxIterations = 3
+	return spec
+}
+
+// TestTenantQuotaMaxQueued: submissions beyond the queued cap fail with
+// ErrQuotaExceeded, other tenants are unaffected, and capacity freed by a
+// cancellation is reusable.
+func TestTenantQuotaMaxQueued(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 1,
+		DefaultQuota:  Quota{MaxQueued: 2},
+		Objectives:    slowObjectives(time.Millisecond),
+	})
+	// Occupy the single run slot so later submissions stay queued.
+	blocker := slowSpec(1)
+	blocker.Tenant = "alpha"
+	blockerID, err := m.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, m, blockerID, StateRunning)
+
+	var queued []string
+	for i := 0; i < 2; i++ {
+		id, err := m.Submit(tenantSpec("alpha", int64(i)))
+		if err != nil {
+			t.Fatalf("within-quota submission %d: %v", i, err)
+		}
+		queued = append(queued, id)
+	}
+	if _, err := m.Submit(tenantSpec("alpha", 9)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submission: %v, want ErrQuotaExceeded", err)
+	}
+	// Another tenant has its own budget.
+	if _, err := m.Submit(tenantSpec("beta", 1)); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Canceling a queued job frees a slot immediately.
+	if err := m.Cancel(queued[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(tenantSpec("alpha", 10)); err != nil {
+		t.Fatalf("submission after freeing quota: %v", err)
+	}
+
+	stats := m.Tenants()
+	if len(stats) != 2 || stats[0].Tenant != "alpha" || stats[1].Tenant != "beta" {
+		t.Fatalf("unexpected tenant stats: %+v", stats)
+	}
+	if stats[0].Rejected != 1 || stats[0].Submitted != 4 {
+		t.Fatalf("alpha accounting: %+v", stats[0])
+	}
+}
+
+// TestTenantMaxRunningNoHeadOfLineBlocking: a tenant at its running cap
+// keeps its jobs queued, but jobs of other tenants behind them in the FIFO
+// still get slots.
+func TestTenantMaxRunningNoHeadOfLineBlocking(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 2,
+		TenantQuotas:  map[string]Quota{"capped": {MaxRunning: 1}},
+		Objectives:    slowObjectives(time.Millisecond),
+	})
+	first := slowSpec(1)
+	first.Tenant = "capped"
+	firstID, err := m.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, m, firstID, StateRunning)
+
+	// Second capped job queues ahead of the other tenant's job.
+	second := slowSpec(2)
+	second.Tenant = "capped"
+	secondID, err := m.Submit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherID, err := m.Submit(tenantSpec("other", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The other tenant's job must pass the capped one.
+	waitJobState(t, m, otherID, StateDone)
+	if st, _ := m.Get(secondID); st.State != StateQueued {
+		t.Fatalf("capped job should still be queued, is %s", st.State)
+	}
+	// Freeing the capped tenant's slot lets its queued job run.
+	if err := m.Cancel(firstID); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, m, secondID, StateRunning)
+	if err := m.Cancel(secondID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantRateLimit: the token bucket admits Burst submissions
+// immediately, then rejects with ErrRateLimited until time refills it.
+func TestTenantRateLimit(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 2,
+		TenantQuotas:  map[string]Quota{"metered": {RatePerSec: 0.001, Burst: 2}},
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(tenantSpec("metered", int64(i))); err != nil {
+			t.Fatalf("burst submission %d: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(tenantSpec("metered", 9)); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-rate submission: %v, want ErrRateLimited", err)
+	}
+	// An unmetered tenant is unaffected.
+	if _, err := m.Submit(tenantSpec("free", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantStorm is the satellite race storm: N tenants × M goroutines
+// hammer submit/cancel/status/quota-exhaust concurrently (run under -race
+// in CI). At the end every accepted job must be terminal and each
+// tenant's queued/running accounting must balance to exactly zero.
+func TestTenantStorm(t *testing.T) {
+	const (
+		tenants    = 4
+		goroutines = 4 // per tenant
+		perG       = 8 // submissions per goroutine
+	)
+	m := newManager(t, Config{
+		MaxConcurrent: 4,
+		// Tight quotas so the storm constantly trips them.
+		DefaultQuota: Quota{MaxQueued: 6, MaxRunning: 2},
+	})
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids []string
+	)
+	for ten := 0; ten < tenants; ten++ {
+		tenant := fmt.Sprintf("tenant-%d", ten)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(tenant string, g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)*1000 + 1)) //optlint:nondeterministic-ok test-local jitter
+				for i := 0; i < perG; i++ {
+					spec := tenantSpec(tenant, int64(g*perG+i))
+					id, err := m.Submit(spec)
+					if err != nil {
+						if !errors.Is(err, ErrQuotaExceeded) && !errors.Is(err, ErrRateLimited) {
+							t.Errorf("unexpected submit error: %v", err)
+							return
+						}
+						// Quota full: let the pool drain a little.
+						time.Sleep(time.Duration(rng.Intn(4)+1) * time.Millisecond)
+						continue
+					}
+					mu.Lock()
+					ids = append(ids, id)
+					mu.Unlock()
+					switch rng.Intn(3) {
+					case 0:
+						if err := m.Cancel(id); err != nil {
+							t.Errorf("Cancel(%s): %v", id, err)
+						}
+					case 1:
+						if _, err := m.Get(id); err != nil {
+							t.Errorf("Get(%s): %v", id, err)
+						}
+					}
+				}
+			}(tenant, g)
+		}
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		if _, err := m.Wait(id); err != nil {
+			// Canceled-before-start and failed results are fine; the wait
+			// itself must resolve.
+			continue
+		}
+	}
+	// Quota accounting must balance to zero for every tenant.
+	for _, ts := range m.Tenants() {
+		if ts.Queued != 0 || ts.Running != 0 {
+			t.Errorf("tenant %s accounting did not balance: queued=%d running=%d", ts.Tenant, ts.Queued, ts.Running)
+		}
+		if ts.Submitted == 0 && ts.Rejected == 0 {
+			t.Errorf("tenant %s saw no traffic", ts.Tenant)
+		}
+	}
+	if got := len(m.Tenants()); got != tenants {
+		t.Errorf("expected %d tenants, got %d", tenants, got)
+	}
+}
+
+// TestSubmitWithID pins the router-facing contract: explicit IDs are
+// honored, duplicates and invalid IDs are rejected, and numeric-form
+// explicit IDs reserve their number against auto-assignment.
+func TestSubmitWithID(t *testing.T) {
+	m := newManager(t, Config{MaxConcurrent: 2})
+	id, err := m.SubmitWithID("r7-j000005", tenantSpec("", 1))
+	if err != nil || id != "r7-j000005" {
+		t.Fatalf("SubmitWithID: %q, %v", id, err)
+	}
+	if _, err := m.SubmitWithID("r7-j000005", tenantSpec("", 2)); err == nil {
+		t.Fatal("duplicate explicit ID accepted")
+	}
+	if _, err := m.SubmitWithID("../evil", tenantSpec("", 3)); err == nil {
+		t.Fatal("invalid explicit ID accepted")
+	}
+	if _, err := m.SubmitWithID("j000010", tenantSpec("", 4)); err != nil {
+		t.Fatal(err)
+	}
+	auto, err := m.Submit(tenantSpec("", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto != "j000011" {
+		t.Fatalf("auto ID after explicit j000010 = %s, want j000011", auto)
+	}
+}
+
+// TestSubmitTimeDurability: a job killed while still QUEUED (never ran,
+// never checkpointed) must survive into the next manager via its
+// submit-time record and then complete.
+func TestSubmitTimeDurability(t *testing.T) {
+	for _, kind := range []string{"file", "wal"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			m1, err := New(Config{
+				MaxConcurrent: 1,
+				CheckpointDir: dir,
+				StoreKind:     kind,
+				Objectives:    slowObjectives(time.Millisecond),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocker := slowSpec(1)
+			blockerID, err := m1.Submit(blocker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitJobState(t, m1, blockerID, StateRunning)
+			queuedSpec := tenantSpec("acme", 2)
+			queuedID, err := m1.Submit(queuedSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1.Close() // the "kill": queued job never started
+
+			m2 := newManager(t, Config{MaxConcurrent: 2, CheckpointDir: dir, StoreKind: kind,
+				Objectives: slowObjectives(time.Millisecond)})
+			ids, err := m2.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			found := false
+			for _, id := range ids {
+				if id == queuedID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("queued job %s not recovered (got %v)", queuedID, ids)
+			}
+			res, err := m2.Wait(queuedID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m2.Get(queuedID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Resumed || st.Tenant != "acme" {
+				t.Fatalf("recovered job lost identity: %+v", st)
+			}
+			// The recovered-from-spec run must match a fresh run bitwise.
+			ref := newManager(t, Config{MaxConcurrent: 1})
+			refID, err := ref.Submit(queuedSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes, err := ref.Wait(refID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BestG != refRes.BestG || res.Iterations != refRes.Iterations {
+				t.Fatalf("recovered run diverged: %v/%d vs %v/%d",
+					res.BestG, res.Iterations, refRes.BestG, refRes.Iterations)
+			}
+		})
+	}
+}
+
+// TestRecoverFromAdoptsForeignStore: the failover primitive — a manager
+// adopts a dead replica's store, runs its jobs, and cleans their records
+// out of the adopted store on completion.
+func TestRecoverFromAdoptsForeignStore(t *testing.T) {
+	deadDir := t.TempDir()
+	m1, err := New(Config{MaxConcurrent: 1, CheckpointDir: deadDir,
+		Objectives: slowObjectives(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockerID, err := m1.Submit(slowSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, m1, blockerID, StateRunning)
+	queuedID, err := m1.Submit(tenantSpec("acme", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close() // the dead replica
+
+	// The survivor has its own store and adopts the dead one's.
+	m2 := newManager(t, Config{MaxConcurrent: 2, CheckpointDir: t.TempDir(),
+		Objectives: slowObjectives(time.Millisecond)})
+	st, err := jobstore.OpenFile(deadDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := m2.RecoverFrom(st)
+	if err != nil {
+		t.Fatalf("RecoverFrom: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("adopted %v, want both jobs", ids)
+	}
+	if _, err := m2.Wait(queuedID); err != nil {
+		t.Fatal(err)
+	}
+	// The blocker has no iteration cap; cancel it instead of waiting.
+	if err := m2.Cancel(blockerID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The completed job's record must be gone from the ADOPTED store.
+	recs, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ID == queuedID {
+			t.Fatalf("completed adopted job %s still recorded in the dead store", queuedID)
+		}
+	}
+}
+
+// brokenStore fails every Put: the submit path must roll its tenant
+// admission back so the failed attempt leaves no phantom queued job.
+type brokenStore struct{}
+
+func (brokenStore) Put(string, []byte) error         { return errors.New("disk full") }
+func (brokenStore) Delete(string) error              { return nil }
+func (brokenStore) List() ([]jobstore.Record, error) { return nil, nil }
+func (brokenStore) Kind() string                     { return "broken" }
+func (brokenStore) Close() error                     { return nil }
+
+// TestTenantQuotaRollbackOnStoreFailure: a submission that passes admission
+// but fails persistence must release its queued-quota reservation —
+// otherwise a flaky disk permanently eats the tenant's quota.
+func TestTenantQuotaRollbackOnStoreFailure(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 1,
+		Store:         brokenStore{},
+		DefaultQuota:  Quota{MaxQueued: 1},
+	})
+	for i := 0; i < 3; i++ {
+		_, err := m.Submit(tenantSpec("acme", int64(i)))
+		if err == nil {
+			t.Fatalf("submit %d: want persistence error, got success", i)
+		}
+		if errors.Is(err, ErrQuotaExceeded) {
+			t.Fatalf("submit %d hit the quota: the failed attempts leaked their reservations (%v)", i, err)
+		}
+	}
+	for _, ts := range m.Tenants() {
+		if ts.Tenant == "acme" && ts.Queued != 0 {
+			t.Fatalf("tenant accounting after rollbacks: queued = %d, want 0", ts.Queued)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package jobstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jobstore"
+	"repro/internal/jobstore/storetest"
+)
+
+// TestFileStoreConformance runs the shared store contract against the
+// one-file-per-job layout. Its torn-write model is WriteAtomic's: a crash
+// mid-Put leaves the previous record intact plus an orphaned temp file.
+func TestFileStoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Harness{
+		Open: func(dir string) (jobstore.Store, error) { return jobstore.OpenFile(dir) },
+		Tear: func(t *testing.T, dir string) {
+			orphan := filepath.Join(dir, "torn"+jobstore.FileSuffix+".tmp-12345")
+			if err := os.WriteFile(orphan, []byte(`{"half":`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}
+
+// TestWALStoreConformance runs the same contract against the write-ahead
+// log. Its torn-write model is a partial final record appended to the log.
+func TestWALStoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Harness{
+		Open: func(dir string) (jobstore.Store, error) { return jobstore.OpenWAL(dir) },
+		Tear: func(t *testing.T, dir string) {
+			// Append the first half of a record that was never acknowledged.
+			rec := jobstore.AppendWALRecordForTest(nil, "torn", []byte("never-acked-payload"))
+			f, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write(rec[:len(rec)/2]); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}
+
+// TestOpenDispatch pins the kind names the Open factory accepts — they are
+// wired to the optd -store flag and the router failover request body.
+func TestOpenDispatch(t *testing.T) {
+	for kind, want := range map[string]string{"": "file", "file": "file", "wal": "wal"} {
+		dir := t.TempDir()
+		st, err := jobstore.Open(kind, dir)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", kind, err)
+		}
+		if st.Kind() != want {
+			t.Errorf("Open(%q).Kind() = %q, want %q", kind, st.Kind(), want)
+		}
+		// Dir travels in the failover request body; both stores expose it.
+		type direr interface{ Dir() string }
+		if d, ok := st.(direr); !ok || d.Dir() != dir {
+			t.Errorf("Open(%q).Dir() = %v, want %q", kind, st, dir)
+		}
+		st.Close()
+	}
+	if _, err := jobstore.Open("bolt", t.TempDir()); err == nil {
+		t.Fatal("unknown store kind must be rejected")
+	}
+}

@@ -1,0 +1,9 @@
+package jobstore
+
+// Test-only exports for the external conformance tests.
+
+// AppendWALRecordForTest encodes one put record, so store-external tests
+// can fabricate the torn-append crash artifact.
+func AppendWALRecordForTest(dst []byte, id string, payload []byte) []byte {
+	return appendWALRecord(dst, opPut, id, payload)
+}

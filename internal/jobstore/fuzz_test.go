@@ -1,0 +1,105 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedRecords is the seed set for FuzzWALRecord (and, via
+// TestWriteWALFuzzCorpus, the committed corpus): one record per op plus
+// the boundary shapes that reach every branch of the decoder.
+func fuzzSeedRecords() [][]byte {
+	var seeds [][]byte
+	add := func(b []byte) { seeds = append(seeds, b) }
+	put := appendWALRecord(nil, opPut, "j000001", []byte("payload"))
+	del := appendWALRecord(nil, opDelete, "j000001", nil)
+	add(put)
+	add(del)
+	add(appendWALRecord(nil, opPut, "a", nil))                     // empty payload
+	add(append(append([]byte{}, put...), del...))                  // two records back to back
+	add(put[:len(put)-1])                                          // torn trailer
+	add(put[:walHeaderLen+2])                                      // torn body
+	add(put[:2])                                                   // torn header
+	add(appendWALRecord(nil, 99, "j000001", []byte("x")))          // unknown op
+	add(appendWALRecord(nil, opDelete, "j000001", []byte("junk"))) // delete with payload
+
+	// CRC mismatch: flip one body byte of a valid record.
+	bad := append([]byte(nil), put...)
+	bad[walHeaderLen+1] ^= 0xFF
+	add(bad)
+
+	// Hostile length prefix far beyond the cap.
+	var hostile [4]byte
+	binary.BigEndian.PutUint32(hostile[:], uint32(maxWALBody+1))
+	add(hostile[:])
+
+	// Body length below the structural minimum.
+	var tiny [5]byte
+	binary.BigEndian.PutUint32(tiny[:], 1)
+	tiny[4] = byte(opPut)
+	add(tiny[:])
+	return seeds
+}
+
+// FuzzWALRecord fuzzes the WAL record decoder: arbitrary bytes must either
+// be rejected cleanly (truncation or corruption error, never a panic or an
+// over-allocation) or decode to a record that re-encodes to exactly the
+// bytes consumed. replayWAL over the same input must never fail — damage
+// is a stop point, not an error — and must consume precisely the decoded
+// prefix.
+func FuzzWALRecord(f *testing.F) {
+	for _, s := range fuzzSeedRecords() {
+		f.Add(append([]byte(nil), s...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, id, payload, n, err := decodeWALRecord(data)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decoded %d bytes of a %d-byte input", n, len(data))
+			}
+			reenc := appendWALRecord(nil, op, id, payload)
+			if !bytes.Equal(reenc, data[:n]) {
+				t.Fatalf("re-encode mismatch:\n got  %x\n want %x", reenc, data[:n])
+			}
+		}
+		// Replay must never fail and must stop exactly where decoding does.
+		live, goodLen, damage := replayWAL(data)
+		if goodLen < 0 || goodLen > len(data) {
+			t.Fatalf("replay consumed %d of %d bytes", goodLen, len(data))
+		}
+		if damage == nil && goodLen != len(data) {
+			t.Fatalf("clean replay left %d bytes unconsumed", len(data)-goodLen)
+		}
+		for lid := range live {
+			if !ValidID(lid) {
+				t.Fatalf("replay admitted invalid id %q", lid)
+			}
+		}
+	})
+}
+
+// TestWriteWALFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzWALRecord from fuzzSeedRecords. It is a no-op unless
+// JOBSTORE_WRITE_FUZZ_CORPUS=1, so the corpus only changes deliberately:
+//
+//	JOBSTORE_WRITE_FUZZ_CORPUS=1 go test ./internal/jobstore -run TestWriteWALFuzzCorpus
+func TestWriteWALFuzzCorpus(t *testing.T) {
+	if os.Getenv("JOBSTORE_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set JOBSTORE_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALRecord")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeedRecords() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

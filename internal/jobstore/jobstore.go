@@ -1,0 +1,96 @@
+// Package jobstore defines the durable job store behind the jobs manager:
+// a pluggable keyed record store that survives process death, so any optd
+// replica can recover any job from it (the deterministic seed/draw model
+// makes a recovered run bitwise-identical to the uninterrupted one).
+//
+// A record is an opaque payload keyed by job ID — the jobs package stores
+// its self-contained checkpoint document (spec + optimizer snapshot) there
+// and never tells the store what is inside. Two implementations ship:
+//
+//   - FileStore: one file per job written with atomic write-then-rename
+//     (the layout the manager used before the interface existed, so a
+//     pre-existing checkpoint directory recovers unchanged);
+//   - WALStore: a single append-only write-ahead log with fsynced,
+//     CRC-guarded records and background-free compaction — one fsync per
+//     durable update instead of a file create+rename, and group commit
+//     under concurrent writers.
+//
+// Both implementations satisfy the same conformance contract, enforced by
+// the shared storetest suite (storetest.Run) covering round-trips,
+// partial-write truncation, concurrent writers and crash-point enumeration
+// at every record boundary.
+package jobstore
+
+import "fmt"
+
+// Record is one durable job record: an opaque payload keyed by job ID.
+type Record struct {
+	// ID is the job ID the record is keyed by.
+	ID string
+	// Payload is the opaque document the jobs layer stored.
+	Payload []byte
+}
+
+// Store persists job records durably. Implementations must be safe for
+// concurrent use and must make Put durable (on stable storage) before
+// returning.
+type Store interface {
+	// Put durably replaces the record for id.
+	Put(id string, payload []byte) error
+	// Delete durably removes the record for id. Deleting an absent id is
+	// not an error.
+	Delete(id string) error
+	// List returns every live record sorted by ID. Implementations may
+	// return the readable records alongside the first read error, so one
+	// damaged record does not block recovery of the rest.
+	List() ([]Record, error)
+	// Kind names the implementation ("file", "wal") for status surfaces.
+	Kind() string
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// maxIDLen bounds record IDs: IDs become file names (FileStore) and
+// length-prefixed wire fields (WALStore).
+const maxIDLen = 128
+
+// ValidID reports whether id is storable: non-empty, at most maxIDLen
+// bytes, only [A-Za-z0-9._-], and not starting with a dot (IDs are file
+// names in the FileStore layout).
+func ValidID(id string) bool {
+	if id == "" || len(id) > maxIDLen || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CheckID returns a descriptive error for an unstorable ID.
+func CheckID(id string) error {
+	if !ValidID(id) {
+		return fmt.Errorf("jobstore: invalid record id %q (want 1-%d chars of [A-Za-z0-9._-], not starting with '.')", id, maxIDLen)
+	}
+	return nil
+}
+
+// Open opens a store of the named kind rooted at dir: "file" (or empty)
+// selects the one-file-per-job FileStore, "wal" the append-only WALStore.
+// The directory is created if missing.
+func Open(kind, dir string) (Store, error) {
+	switch kind {
+	case "", "file":
+		return OpenFile(dir)
+	case "wal":
+		return OpenWAL(dir)
+	default:
+		return nil, fmt.Errorf("jobstore: unknown store kind %q (want \"file\" or \"wal\")", kind)
+	}
+}

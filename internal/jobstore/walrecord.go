@@ -1,0 +1,122 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The WAL file layout. The file opens with an 8-byte magic, then holds a
+// flat sequence of self-delimiting records:
+//
+//	[u32 bodyLen][body][u32 crc32]
+//	body = [1 op][u16 idLen][id bytes][payload bytes]
+//
+// All integers are big-endian; the CRC (IEEE) covers the body only, so a
+// torn append is detected whether the tear hit the length, the body or the
+// checksum. Appends are fsynced before Put/Delete return, which makes the
+// only legal damage a truncated or torn final record — replay stops there
+// and the opener truncates the tail, exactly like any write-ahead log.
+const (
+	walMagic = "OPTDWAL1"
+
+	opPut    byte = 1
+	opDelete byte = 2
+
+	// walHeaderLen is the length-prefix size of one record.
+	walHeaderLen = 4
+	// walTrailerLen is the CRC size of one record.
+	walTrailerLen = 4
+	// walBodyMin is op + idLen with an empty id and payload.
+	walBodyMin = 3
+	// maxWALPayload bounds one record's payload so a corrupt or hostile
+	// length prefix cannot allocate unbounded memory during replay.
+	maxWALPayload = 1 << 26 // 64 MiB
+	// maxWALBody bounds the whole body.
+	maxWALBody = walBodyMin + maxIDLen + maxWALPayload
+)
+
+// errWALTruncated marks a record cut short by a crash: the bytes present
+// are a strict prefix of a record. Replay treats it as the clean end of
+// the log.
+var errWALTruncated = errors.New("jobstore: truncated WAL record")
+
+// appendWALRecord appends the encoded record to dst and returns the
+// extended slice.
+func appendWALRecord(dst []byte, op byte, id string, payload []byte) []byte {
+	bodyLen := walBodyMin + len(id) + len(payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(bodyLen))
+	bodyStart := len(dst)
+	dst = append(dst, op)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(id)))
+	dst = append(dst, id...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[bodyStart:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// decodeWALRecord parses the first record of b, returning the op, id,
+// payload (aliasing b) and the total bytes consumed. A prefix of a valid
+// record yields errWALTruncated; structurally invalid bytes (oversized
+// lengths, unknown op, CRC mismatch) yield a corruption error.
+func decodeWALRecord(b []byte) (op byte, id string, payload []byte, n int, err error) {
+	if len(b) < walHeaderLen {
+		return 0, "", nil, 0, errWALTruncated
+	}
+	bodyLen := int(binary.BigEndian.Uint32(b))
+	if bodyLen < walBodyMin || bodyLen > maxWALBody {
+		return 0, "", nil, 0, fmt.Errorf("jobstore: WAL record body length %d out of range [%d, %d]", bodyLen, walBodyMin, maxWALBody)
+	}
+	total := walHeaderLen + bodyLen + walTrailerLen
+	if len(b) < total {
+		return 0, "", nil, 0, errWALTruncated
+	}
+	body := b[walHeaderLen : walHeaderLen+bodyLen]
+	wantCRC := binary.BigEndian.Uint32(b[walHeaderLen+bodyLen:])
+	if crc := crc32.ChecksumIEEE(body); crc != wantCRC {
+		return 0, "", nil, 0, fmt.Errorf("jobstore: WAL record CRC mismatch (got %08x, want %08x)", crc, wantCRC)
+	}
+	op = body[0]
+	if op != opPut && op != opDelete {
+		return 0, "", nil, 0, fmt.Errorf("jobstore: unknown WAL record op %d", op)
+	}
+	idLen := int(binary.BigEndian.Uint16(body[1:]))
+	if idLen > maxIDLen || walBodyMin+idLen > bodyLen {
+		return 0, "", nil, 0, fmt.Errorf("jobstore: WAL record id length %d exceeds body", idLen)
+	}
+	id = string(body[walBodyMin : walBodyMin+idLen])
+	payload = body[walBodyMin+idLen : bodyLen]
+	if op == opDelete && len(payload) != 0 {
+		return 0, "", nil, 0, fmt.Errorf("jobstore: WAL delete record carries a %d-byte payload", len(payload))
+	}
+	return op, id, payload, total, nil
+}
+
+// replayWAL applies every complete record of data (the file bytes after
+// the magic) to a fresh state map. It returns the live records, the byte
+// offset of the first damaged or truncated record relative to data (==
+// len(data) when the log is clean), and the damage encountered there
+// (nil when clean). Damage never fails the replay: everything before it
+// is durable state.
+func replayWAL(data []byte) (live map[string][]byte, goodLen int, damage error) {
+	live = make(map[string][]byte)
+	off := 0
+	for off < len(data) {
+		op, id, payload, n, err := decodeWALRecord(data[off:])
+		if err != nil {
+			return live, off, err
+		}
+		if err := CheckID(id); err != nil {
+			return live, off, err
+		}
+		switch op {
+		case opPut:
+			live[id] = append([]byte(nil), payload...)
+		case opDelete:
+			delete(live, id)
+		}
+		off += n
+	}
+	return live, off, nil
+}

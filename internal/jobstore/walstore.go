@@ -1,0 +1,300 @@
+package jobstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fileio"
+)
+
+// walFileName is the log file inside the store directory.
+const walFileName = "jobs.wal"
+
+// compactFloor is the minimum garbage (bytes superseded by later records)
+// before a compaction is worth an extra full-file write.
+const compactFloor = 1 << 20 // 1 MiB
+
+// WALStore is the append-only durable store: every Put/Delete appends one
+// CRC-guarded record to a single write-ahead log and fsyncs before
+// returning. Concurrent writers group-commit — any fsync that covers a
+// writer's append satisfies it, so N concurrent Puts pay far fewer than N
+// fsyncs. The log self-compacts when superseded bytes outgrow live ones.
+//
+// Crash safety: appends are fsynced, so the only legal damage is a torn
+// or truncated final record; OpenWAL replays up to it, truncates the tail,
+// and the store continues from the last durable state — enumerated
+// record-boundary crash points are part of the storetest contract.
+type WALStore struct {
+	dir  string
+	path string
+
+	mu         sync.Mutex
+	f          *os.File          // guarded by mu
+	live       map[string][]byte // guarded by mu
+	liveBytes  int               // guarded by mu: encoded size of the live records
+	totalBytes int               // guarded by mu: bytes appended since the magic
+	buf        []byte            // guarded by mu: reusable encode buffer
+	closed     bool              // guarded by mu
+
+	// appendGen counts appends; syncedGen is the latest generation known
+	// durable. A writer whose generation is already synced skips its fsync
+	// — that is the whole group-commit mechanism.
+	appendGen atomic.Uint64
+	syncedGen atomic.Uint64
+
+	// syncMu serializes fsyncs (and compaction, which replaces f). Never
+	// held together with mu except by compact, which takes syncMu first.
+	syncMu sync.Mutex
+}
+
+// OpenWAL opens (creating if missing) a WALStore rooted at dir, replaying
+// the log and truncating any torn tail a crash left behind.
+func OpenWAL(dir string) (*WALStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobstore: wal store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		data = nil
+	} else if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	if len(data) < len(walMagic) && string(data) == walMagic[:len(data)] {
+		// Empty, or a crash tore the initial magic write: no record was
+		// ever acknowledged, so restart the log from scratch.
+		data = nil
+	}
+	// Replay into locals; the store is published via the composite literal
+	// below, before any other goroutine can see it.
+	var live map[string][]byte
+	totalBytes := 0
+	if len(data) == 0 {
+		// Fresh (or torn-at-birth) log: write the magic durably.
+		if werr := os.WriteFile(path, []byte(walMagic), 0o644); werr != nil {
+			return nil, fmt.Errorf("jobstore: %w", werr)
+		}
+		live = make(map[string][]byte)
+	} else {
+		if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+			return nil, fmt.Errorf("jobstore: %s is not a WAL (bad magic)", path)
+		}
+		var goodLen int
+		live, goodLen, _ = replayWAL(data[len(walMagic):])
+		totalBytes = goodLen
+		if tail := len(walMagic) + goodLen; tail < len(data) {
+			// A torn final append: everything before it is durable state,
+			// the tail is the crash artifact the fsync discipline allows.
+			if terr := os.Truncate(path, int64(tail)); terr != nil {
+				return nil, fmt.Errorf("jobstore: truncating torn WAL tail: %w", terr)
+			}
+		}
+	}
+	liveBytes := 0
+	for id, payload := range live {
+		liveBytes += encodedWALSize(id, payload)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s := &WALStore{
+		dir:        dir,
+		path:       path,
+		f:          f,
+		live:       live,
+		liveBytes:  liveBytes,
+		totalBytes: totalBytes,
+	}
+	if garbage := totalBytes - liveBytes; garbage > compactFloor && garbage > liveBytes {
+		if err := s.compact(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// encodedWALSize is the on-disk footprint of one put record.
+func encodedWALSize(id string, payload []byte) int {
+	return walHeaderLen + walBodyMin + len(id) + len(payload) + walTrailerLen
+}
+
+// garbageLocked is the superseded byte count. Caller holds mu (or has
+// exclusive access during Open).
+func (s *WALStore) garbageLocked() int { return s.totalBytes - s.liveBytes }
+
+// Dir returns the store's root directory.
+func (s *WALStore) Dir() string { return s.dir }
+
+// Kind implements Store.
+func (s *WALStore) Kind() string { return "wal" }
+
+// Put implements Store: append one put record, fsync (group-committed),
+// and compact if the log has outgrown its live content.
+func (s *WALStore) Put(id string, payload []byte) error {
+	if len(payload) > maxWALPayload {
+		return fmt.Errorf("jobstore: payload of %d bytes exceeds the WAL record cap %d", len(payload), maxWALPayload)
+	}
+	return s.append(opPut, id, payload)
+}
+
+// Delete implements Store: append one delete record and fsync.
+func (s *WALStore) Delete(id string) error {
+	return s.append(opDelete, id, nil)
+}
+
+func (s *WALStore) append(op byte, id string, payload []byte) error {
+	if err := CheckID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	s.buf = appendWALRecord(s.buf[:0], op, id, payload)
+	if _, err := s.f.Write(s.buf); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.totalBytes += len(s.buf)
+	if prev, ok := s.live[id]; ok {
+		s.liveBytes -= encodedWALSize(id, prev)
+	}
+	if op == opPut {
+		s.live[id] = append([]byte(nil), payload...)
+		s.liveBytes += encodedWALSize(id, payload)
+	} else {
+		delete(s.live, id)
+	}
+	gen := s.appendGen.Add(1)
+	needCompact := s.garbageLocked() > compactFloor && s.garbageLocked() > s.liveBytes
+	s.mu.Unlock()
+
+	if err := s.syncTo(gen); err != nil {
+		return err
+	}
+	if needCompact {
+		return s.compact()
+	}
+	return nil
+}
+
+// syncTo makes generation gen durable. Writers whose generation an earlier
+// fsync already covered return immediately; the one that does fsync covers
+// every append that completed before it — group commit.
+func (s *WALStore) syncTo(gen uint64) error {
+	if s.syncedGen.Load() >= gen {
+		return nil
+	}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.syncedGen.Load() >= gen {
+		return nil
+	}
+	// Every append at or below this generation has hit the file (writes
+	// happen before appendGen is bumped, both under mu). Snapshot the
+	// handle under mu: compact may swap s.f, but only while also holding
+	// syncMu, so the snapshot cannot go stale inside this critical section.
+	cover := s.appendGen.Load()
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.syncedGen.Store(cover)
+	return nil
+}
+
+// compact rewrites the log to exactly the live records (sorted by ID, one
+// atomic write-then-rename) and reopens the append handle. Readers of the
+// old file see either the old or the new complete log, never a mix.
+func (s *WALStore) compact() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	if s.garbageLocked() <= compactFloor/4 {
+		return nil // a concurrent compaction already ran
+	}
+	content := []byte(walMagic)
+	for _, id := range s.sortedIDsLocked() {
+		content = appendWALRecord(content, opPut, id, s.live[id])
+	}
+	if err := fileio.WriteAtomic(s.path, content, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: reopening compacted WAL: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.totalBytes = len(content) - len(walMagic)
+	s.liveBytes = s.totalBytes
+	// The compacted file is durable (WriteAtomic fsyncs before renaming),
+	// so everything appended so far is covered.
+	s.syncedGen.Store(s.appendGen.Load())
+	return nil
+}
+
+func (s *WALStore) sortedIDsLocked() []string {
+	ids := make([]string, 0, len(s.live))
+	//optlint:nondeterministic-ok collection is sorted immediately below
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// List implements Store: the live records, sorted by ID. Payloads are
+// copies, safe to hold across later store mutations.
+func (s *WALStore) List() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("jobstore: store is closed")
+	}
+	recs := make([]Record, 0, len(s.live))
+	for _, id := range s.sortedIDsLocked() {
+		recs = append(recs, Record{ID: id, Payload: append([]byte(nil), s.live[id]...)})
+	}
+	return recs, nil
+}
+
+// Close implements Store.
+func (s *WALStore) Close() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/serve"
+)
+
+// specJSON is a fast deterministic job: rosenbrock/pc, done in a few ms.
+func specJSON(tenant string, seed int64) string {
+	return fmt.Sprintf(`{"objective":"rosenbrock","dim":3,"algorithm":"pc","sigma0":50,"seed":%d,"tol":-1,"max_iterations":20,"tenant":%q}`, seed, tenant)
+}
+
+func startServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	mgr, err := jobs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{Mgr: mgr, DefaultSeed: 1}))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts, mgr
+}
+
+func post(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// waitDone polls the status endpoint until the job is terminal.
+func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st map[string]any
+		if code := get(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status %s: code %d", id, code)
+		}
+		switch st["state"] {
+		case "done", "failed", "canceled":
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// TestTenantRoutes: the tenant-scoped submit forces the path's namespace,
+// the tenant list is scoped, /v1/tenants reports quota accounting, and a
+// spec/path tenant conflict is rejected.
+func TestTenantRoutes(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{MaxConcurrent: 2})
+
+	// Tenant-scoped submit with no tenant in the spec: path wins.
+	code, body := post(t, ts.URL+"/v1/tenants/acme/jobs", specJSON("", 7))
+	if code != http.StatusAccepted {
+		t.Fatalf("tenant submit: code %d body %v", code, body)
+	}
+	acmeID := body["id"].(string)
+	if st := waitDone(t, ts, acmeID); st["tenant"] != "acme" || st["state"] != "done" {
+		t.Fatalf("tenant job status: %v", st)
+	}
+
+	// A different tenant via the flat endpoint, tenant named in the spec.
+	code, body = post(t, ts.URL+"/v1/jobs", specJSON("globex", 8))
+	if code != http.StatusAccepted {
+		t.Fatalf("flat submit: code %d body %v", code, body)
+	}
+	waitDone(t, ts, body["id"].(string))
+
+	// Conflicting spec/path tenants are a 400, not silent reassignment.
+	code, body = post(t, ts.URL+"/v1/tenants/acme/jobs", specJSON("globex", 9))
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "conflicts") {
+		t.Fatalf("tenant conflict: code %d body %v", code, body)
+	}
+
+	// The tenant-scoped list shows only acme's job.
+	var scoped []map[string]any
+	if code := get(t, ts.URL+"/v1/tenants/acme/jobs", &scoped); code != http.StatusOK {
+		t.Fatalf("tenant list: code %d", code)
+	}
+	if len(scoped) != 1 || scoped[0]["id"] != acmeID {
+		t.Fatalf("tenant list = %v, want just %s", scoped, acmeID)
+	}
+
+	// /v1/tenants reports both namespaces with balanced accounting.
+	var tl struct {
+		Tenants []jobs.TenantStats `json:"tenants"`
+	}
+	if code := get(t, ts.URL+"/v1/tenants", &tl); code != http.StatusOK {
+		t.Fatalf("tenants: code %d", code)
+	}
+	names := make([]string, 0, len(tl.Tenants))
+	for _, s := range tl.Tenants {
+		names = append(names, s.Tenant)
+		if s.Queued != 0 || s.Running != 0 {
+			t.Fatalf("tenant %s accounting not drained: %+v", s.Tenant, s)
+		}
+	}
+	if fmt.Sprint(names) != "[acme globex]" {
+		t.Fatalf("tenant names = %v", names)
+	}
+}
+
+// TestSubmitWithIDAndQuota: caller-chosen IDs via ?id= (the router's
+// placement contract), duplicate rejection, and 429 on quota exhaustion.
+func TestSubmitWithIDAndQuota(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{
+		MaxConcurrent: 1,
+		DefaultQuota:  jobs.Quota{MaxQueued: 1},
+		Objectives: map[string]func([]float64) float64{
+			"slowsphere": func(x []float64) float64 {
+				time.Sleep(500 * time.Microsecond)
+				var s float64
+				for _, v := range x {
+					s += v * v
+				}
+				return s
+			},
+		},
+	})
+
+	blocker := `{"objective":"slowsphere","dim":3,"algorithm":"pc","sigma0":1,"seed":1,"tol":-1}`
+	code, body := post(t, ts.URL+"/v1/jobs?id=shard0-j1", blocker)
+	if code != http.StatusAccepted || body["id"] != "shard0-j1" {
+		t.Fatalf("submit with id: code %d body %v", code, body)
+	}
+	// Reusing the ID is a 400 (invalid submission), not a new job.
+	if code, body = post(t, ts.URL+"/v1/jobs?id=shard0-j1", blocker); code != http.StatusBadRequest {
+		t.Fatalf("duplicate id: code %d body %v", code, body)
+	}
+
+	// One queued job fits the quota; the next is a 429.
+	if code, body = post(t, ts.URL+"/v1/jobs?id=shard0-j2", blocker); code != http.StatusAccepted {
+		t.Fatalf("queued submit: code %d body %v", code, body)
+	}
+	code, body = post(t, ts.URL+"/v1/jobs?id=shard0-j3", blocker)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: code %d body %v", code, body)
+	}
+
+	for _, id := range []string{"shard0-j1", "shard0-j2"} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+		}
+	}
+}
+
+// TestFailoverEndpoint: kill a manager with durable queued work, then adopt
+// its store via POST /v1/failover on a second server and watch the job
+// finish there.
+func TestFailoverEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	deadDir := filepath.Join(dir, "dead")
+	if err := os.MkdirAll(deadDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: submit one durable job and close before it can run.
+	m1, err := jobs.New(jobs.Config{MaxConcurrent: 1, CheckpointDir: deadDir, StoreKind: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := m1.Submit(jobs.Spec{
+		Objective: "rosenbrock", Dim: 3, Algorithm: "pc", Sigma0: 50,
+		Seed: 41, Tol: -1, MaxIterations: 20, Tenant: "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	// Survivor: a fresh server with its own (file) store adopts the WAL.
+	ts, _ := startServer(t, jobs.Config{MaxConcurrent: 2, CheckpointDir: filepath.Join(dir, "live")})
+	code, body := post(t, ts.URL+"/v1/failover", fmt.Sprintf(`{"dir":%q,"store":"wal"}`, deadDir))
+	if code != http.StatusOK {
+		t.Fatalf("failover: code %d body %v", code, body)
+	}
+	adopted, _ := body["adopted"].([]any)
+	if len(adopted) != 1 || adopted[0] != blocker {
+		t.Fatalf("adopted = %v, want [%s]", body["adopted"], blocker)
+	}
+	if st := waitDone(t, ts, blocker); st["state"] != "done" || st["tenant"] != "acme" || st["resumed"] != true {
+		t.Fatalf("adopted job status: %v", st)
+	}
+
+	// Bad requests: unknown store kind and missing dir are 400s.
+	if code, _ := post(t, ts.URL+"/v1/failover", `{"dir":"x","store":"bolt"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad store kind: code %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/failover", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("missing dir: code %d", code)
+	}
+}
+
+// TestMethodNotAllowed: the new paths answer wrong methods with 405 + Allow.
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{MaxConcurrent: 1})
+	for path, allow := range map[string]string{
+		"/v1/tenants":           "GET",
+		"/v1/tenants/acme/jobs": "GET, POST",
+		"/v1/failover":          "POST",
+	} {
+		var method string
+		if strings.Contains(allow, "POST") && !strings.Contains(allow, "DELETE") {
+			method = http.MethodDelete
+		} else {
+			method = http.MethodPut
+		}
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != allow {
+			t.Fatalf("%s %s: code %d allow %q, want 405 %q", method, path, resp.StatusCode, resp.Header.Get("Allow"), allow)
+		}
+	}
+}
+
+// TestHealthzAndStrategies pins the readiness surface: store kind, tenant
+// count and strategy listing all answer through the shared handler.
+func TestHealthzAndStrategies(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{
+		MaxConcurrent: 1,
+		CheckpointDir: t.TempDir(),
+		StoreKind:     "wal",
+	})
+	if code, body := post(t, ts.URL+"/v1/tenants/acme/jobs", specJSON("", 7)); code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	var health map[string]any
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["ok"] != true {
+		t.Fatalf("healthz not ok: %v", health)
+	}
+	if health["store"] != "wal" {
+		t.Fatalf("healthz store = %v, want wal", health["store"])
+	}
+	if n, ok := health["tenants"].(float64); !ok || n < 1 {
+		t.Fatalf("healthz tenants = %v, want >= 1", health["tenants"])
+	}
+	var strategies map[string]any
+	if code := get(t, ts.URL+"/strategies", &strategies); code != http.StatusOK {
+		t.Fatalf("strategies: %d", code)
+	}
+	if _, ok := strategies["strategies"]; !ok {
+		t.Fatalf("strategies payload missing list: %v", strategies)
+	}
+}

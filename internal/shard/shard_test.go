@@ -1,0 +1,367 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/testfunc"
+)
+
+// TestHashPinned pins the placement hash: it is a wire contract (every
+// router replica must compute the same placement), so a change here is a
+// breaking deployment change, not a refactor.
+func TestHashPinned(t *testing.T) {
+	cases := map[string]uint64{
+		"":  14695981039346656037, // FNV-1a 64 offset basis
+		"a": 12638187200555641996,
+	}
+	for id, want := range cases {
+		if got := shard.Hash(id); got != want {
+			t.Errorf("Hash(%q) = %d, want %d", id, got, want)
+		}
+	}
+	// Pick must spread dense router IDs over both shards, and must be
+	// stable run to run.
+	counts := [2]int{}
+	for i := 1; i <= 64; i++ {
+		counts[shard.Pick(fmt.Sprintf("r%06d", i), 2)]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("dense IDs all hash to one shard: %v", counts)
+	}
+}
+
+// testShard is one in-process optd replica: a jobs.Manager behind the real
+// serve handler.
+type testShard struct {
+	mgr *jobs.Manager
+	ts  *httptest.Server
+}
+
+func (s *testShard) addr() string { return strings.TrimPrefix(s.ts.URL, "http://") }
+
+// newTestShard starts a replica. gate, when non-nil, is consulted by the
+// "gate" objective: evaluation blocks until the channel closes.
+func newTestShard(t *testing.T, cfg jobs.Config, gate <-chan struct{}) *testShard {
+	t.Helper()
+	if gate != nil {
+		cfg.Objectives = map[string]func([]float64) float64{
+			"gate": func(x []float64) float64 {
+				<-gate
+				return testfunc.Rosenbrock(x)
+			},
+		}
+	}
+	mgr, err := jobs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{Mgr: mgr, DefaultSeed: 1}))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return &testShard{mgr: mgr, ts: ts}
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func waitTerminal(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var st map[string]any
+		if code := getJSON(t, base+"/v1/jobs/"+id, &st); code == http.StatusOK {
+			switch st["state"] {
+			case "done", "failed", "canceled":
+				return st
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func specBody(tenant string, seed int64) string {
+	return fmt.Sprintf(`{"objective":"rosenbrock","dim":3,"algorithm":"pc","sigma0":50,"seed":%d,"tol":-1,"max_iterations":20,"tenant":%q}`, seed, tenant)
+}
+
+// TestRouterRouting: submissions spread by ID hash, job-scoped requests
+// route to the right shard, lists and tenant accounting merge.
+func TestRouterRouting(t *testing.T) {
+	s0 := newTestShard(t, jobs.Config{MaxConcurrent: 2}, nil)
+	s1 := newTestShard(t, jobs.Config{MaxConcurrent: 2}, nil)
+	r, err := shard.New(shard.Config{
+		Shards: []shard.Shard{{Addr: s0.addr()}, {Addr: s1.addr()}},
+		Probe:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	rt := httptest.NewServer(r.Handler())
+	t.Cleanup(rt.Close)
+
+	tenants := []string{"acme", "globex"}
+	ids := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		code, body := postJSON(t, rt.URL+"/v1/jobs", specBody(tenants[i%2], int64(i+1)))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: code %d body %v", i, code, body)
+		}
+		ids = append(ids, body["id"].(string))
+	}
+
+	// Every job is visible and finishes through the router, and each lives
+	// on exactly the shard its hash names.
+	shards := []*testShard{s0, s1}
+	spread := [2]int{}
+	for _, id := range ids {
+		if st := waitTerminal(t, rt.URL, id); st["state"] != "done" {
+			t.Fatalf("job %s: %v", id, st)
+		}
+		home := shard.Pick(id, 2)
+		spread[home]++
+		if _, err := shards[home].mgr.Get(id); err != nil {
+			t.Fatalf("job %s not on home shard %d: %v", id, home, err)
+		}
+		if _, err := shards[1-home].mgr.Get(id); err == nil {
+			t.Fatalf("job %s present on both shards", id)
+		}
+		// The result is served through the router too.
+		var res map[string]any
+		if code := getJSON(t, rt.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+			t.Fatalf("result %s: code %d", id, code)
+		}
+	}
+	if spread[0] == 0 || spread[1] == 0 {
+		t.Fatalf("hash placed every job on one shard: %v", spread)
+	}
+
+	// Merged list: all 8 jobs, sorted by ID.
+	var list []map[string]any
+	if code := getJSON(t, rt.URL+"/v1/jobs", &list); code != http.StatusOK || len(list) != 8 {
+		t.Fatalf("merged list: code %d len %d", code, len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1]["id"].(string) >= list[i]["id"].(string) {
+			t.Fatalf("merged list not sorted: %v >= %v", list[i-1]["id"], list[i]["id"])
+		}
+	}
+
+	// Merged tenants: both namespaces, 4 submissions each across shards.
+	var tl struct {
+		Tenants []jobs.TenantStats `json:"tenants"`
+	}
+	if code := getJSON(t, rt.URL+"/v1/tenants", &tl); code != http.StatusOK || len(tl.Tenants) != 2 {
+		t.Fatalf("merged tenants: code %d %v", code, tl.Tenants)
+	}
+	for _, ts := range tl.Tenants {
+		if ts.Submitted != 4 {
+			t.Fatalf("tenant %s submitted = %d, want 4 (merged)", ts.Tenant, ts.Submitted)
+		}
+	}
+}
+
+// TestRouterFailover: kill one shard mid-load, watch the router declare it
+// dead, fail its durable store over to the survivor, and serve the dead
+// shard's jobs — resumed deterministically, results identical to a fresh
+// reference run.
+func TestRouterFailover(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	// Shard 0 has one runner, occupied by a gated blocker: every routed
+	// job that lands there stays queued with a durable spec-only record.
+	s0 := newTestShard(t, jobs.Config{MaxConcurrent: 1, CheckpointDir: dir0, StoreKind: "wal"}, gate)
+	s1 := newTestShard(t, jobs.Config{MaxConcurrent: 4, CheckpointDir: dir1, StoreKind: "wal"}, gate)
+	t.Cleanup(release) // LIFO: release the gate before the managers Close
+
+	blocker := `{"objective":"gate","dim":3,"algorithm":"pc","sigma0":50,"seed":99,"tol":-1,"max_iterations":5}`
+	if code, body := postJSON(t, s0.ts.URL+"/v1/jobs?id=blocker0", blocker); code != http.StatusAccepted {
+		t.Fatalf("blocker: code %d body %v", code, body)
+	}
+
+	r, err := shard.New(shard.Config{
+		Shards: []shard.Shard{
+			{Addr: s0.addr(), Dir: dir0, Store: "wal"},
+			{Addr: s1.addr(), Dir: dir1, Store: "wal"},
+		},
+		Probe:     20 * time.Millisecond,
+		DeadAfter: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	rt := httptest.NewServer(r.Handler())
+	t.Cleanup(rt.Close)
+
+	// Load: shard-1 jobs complete; shard-0 jobs queue behind the blocker.
+	var onDead []string
+	var seeds = map[string]int64{}
+	for i := 0; i < 10; i++ {
+		seed := int64(100 + i)
+		code, body := postJSON(t, rt.URL+"/v1/jobs", specBody("acme", seed))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: code %d body %v", i, code, body)
+		}
+		id := body["id"].(string)
+		seeds[id] = seed
+		if shard.Pick(id, 2) == 0 {
+			onDead = append(onDead, id)
+		}
+	}
+	if len(onDead) == 0 {
+		t.Fatal("no routed job hashed to shard 0; widen the load")
+	}
+
+	// Kill shard 0 (network death: its listener goes away, its queued
+	// jobs' records stay in dir0).
+	s0.ts.Close()
+
+	// The router must declare it dead and hand its range to shard 1.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Shards []shard.ShardStatus `json:"shards"`
+		}
+		getJSON(t, rt.URL+"/healthz", &health)
+		if len(health.Shards) == 2 && health.Shards[0].Dead {
+			if health.Shards[0].Adopter != 1 {
+				t.Fatalf("adopter = %d, want 1", health.Shards[0].Adopter)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never declared dead: %+v", health.Shards)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every job that lived on shard 0 finishes through the router — on
+	// shard 1, marked resumed, with results identical to a fresh run of
+	// the same spec (placement moved; the computation did not change).
+	for _, id := range onDead {
+		st := waitTerminal(t, rt.URL, id)
+		if st["state"] != "done" || st["resumed"] != true {
+			t.Fatalf("adopted job %s: %v", id, st)
+		}
+		if _, err := s1.mgr.Get(id); err != nil {
+			t.Fatalf("adopted job %s not on shard 1: %v", id, err)
+		}
+		ref := runReference(t, seeds[id])
+		if got := st["best_g"].(float64); got != ref.BestG {
+			t.Fatalf("job %s best_g = %v, want reference %v", id, got, ref.BestG)
+		}
+		if got := int(st["iterations"].(float64)); got != ref.Iterations {
+			t.Fatalf("job %s iterations = %d, want reference %d", id, got, ref.Iterations)
+		}
+	}
+	release()
+}
+
+// runReference runs the routed spec in a fresh standalone manager and
+// returns its terminal status — the determinism baseline.
+func runReference(t *testing.T, seed int64) jobs.Status {
+	t.Helper()
+	m, err := jobs.New(jobs.Config{MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Submit(jobs.Spec{
+		Objective: "rosenbrock", Dim: 3, Algorithm: "pc", Sigma0: 50,
+		Seed: seed, Tol: -1, MaxIterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRouterAllDead: a router whose whole table is unreachable serves 503s.
+func TestRouterAllDead(t *testing.T) {
+	r, err := shard.New(shard.Config{
+		Shards:    []shard.Shard{{Addr: "127.0.0.1:1"}},
+		Probe:     10 * time.Millisecond,
+		DeadAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	rt := httptest.NewServer(r.Handler())
+	t.Cleanup(rt.Close)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var health struct {
+			OK     bool                `json:"ok"`
+			Shards []shard.ShardStatus `json:"shards"`
+		}
+		code := getJSON(t, rt.URL+"/healthz", &health)
+		if code == http.StatusServiceUnavailable && len(health.Shards) == 1 && health.Shards[0].Dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never reported all-dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, body := postJSON(t, rt.URL+"/v1/jobs", specBody("", 1)); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with all shards dead: code %d body %v", code, body)
+	}
+	if err := shardNewEmpty(); err == nil {
+		t.Fatal("New with empty table succeeded")
+	}
+}
+
+func shardNewEmpty() error {
+	_, err := shard.New(shard.Config{})
+	return err
+}

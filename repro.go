@@ -294,8 +294,16 @@ type (
 	// JobManager runs many optimizations as jobs; create with NewJobManager.
 	JobManager = jobs.Manager
 	// JobManagerConfig configures the manager (run-pool width, fleet size,
-	// checkpoint directory, custom objectives).
+	// durable store, tenant quotas, custom objectives).
 	JobManagerConfig = jobs.Config
+	// JobQuota bounds one tenant's use of the manager: max queued, max
+	// running, and a token-bucket submission rate limit. The zero value
+	// is unlimited. Set JobManagerConfig.DefaultQuota (or per-tenant
+	// overrides in TenantQuotas) to enforce it.
+	JobQuota = jobs.Quota
+	// JobTenantStats is one tenant's aggregate accounting (queued,
+	// running, submitted, rejected), as returned by JobManager.Tenants.
+	JobTenantStats = jobs.TenantStats
 	// JobSpec describes one job: named objective, dimension, algorithm,
 	// noise strength, seed, budgets.
 	JobSpec = jobs.Spec
