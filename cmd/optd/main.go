@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +52,7 @@ func main() {
 		fleetProto = flag.String("fleet-proto", "binary", "frame codec ceiling for worker sessions: binary (negotiate the compact codec) or json (force the fallback)")
 		maxConc    = flag.Int("max-concurrent", 4, "jobs running simultaneously")
 		workers    = flag.Int("workers", 0, "shared sampling fleet size (0 = GOMAXPROCS)")
+		schedPol   = flag.String("sched-policy", "fair", "fleet scheduling across tenants: fair (weighted fair-share) or fifo (single global queue)")
 		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
 		storeKind  = flag.String("store", "file", "durable job store kind: file (one file per job) or wal (append-only log)")
 		ckptEvery  = flag.Int("checkpoint-every", 20, "iterations between checkpoints")
@@ -62,6 +65,29 @@ func main() {
 		tenantRate       = flag.Float64("tenant-rate", 0, "per-tenant submissions/sec token-bucket rate (0 = unlimited)")
 		tenantBurst      = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = derive from rate)")
 	)
+	// -tenant-weight is repeatable: a bare integer sets the default
+	// fair-share weight every tenant inherits; NAME=W pins one tenant's
+	// weight. Weight w buys w fleet dispatch slots per weight-1 slot while
+	// both tenants are backlogged.
+	defaultWeight := 0
+	tenantWeights := map[string]int{}
+	flag.Func("tenant-weight", "fair-share weight, either W (default for all tenants) or NAME=W (repeatable)", func(v string) error {
+		name, val, named := strings.Cut(v, "=")
+		if !named {
+			w, err := strconv.Atoi(v)
+			if err != nil || w < 1 {
+				return fmt.Errorf("want a positive integer, got %q", v)
+			}
+			defaultWeight = w
+			return nil
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 || name == "" {
+			return fmt.Errorf("want NAME=positive-integer, got %q", v)
+		}
+		tenantWeights[name] = w
+		return nil
+	})
 	flag.Parse()
 	fmt.Printf("optd starting: addr=%s fleet-addr=%q seed=%d max-concurrent=%d workers=%d checkpoint-dir=%q\n",
 		*addr, *fleetAddr, *seed, *maxConc, *workers, *ckptDir)
@@ -89,6 +115,7 @@ func main() {
 	mgr, err := jobs.New(jobs.Config{
 		MaxConcurrent:   *maxConc,
 		Workers:         *workers,
+		SchedPolicy:     *schedPol,
 		CheckpointDir:   *ckptDir,
 		StoreKind:       *storeKind,
 		CheckpointEvery: *ckptEvery,
@@ -100,7 +127,25 @@ func main() {
 			MaxRunning: *tenantMaxRunning,
 			RatePerSec: *tenantRate,
 			Burst:      *tenantBurst,
+			Weight:     defaultWeight,
 		},
+		TenantQuotas: func() map[string]jobs.Quota {
+			if len(tenantWeights) == 0 {
+				return nil
+			}
+			quotas := make(map[string]jobs.Quota, len(tenantWeights))
+			for name, w := range tenantWeights {
+				q := jobs.Quota{
+					MaxQueued:  *tenantMaxQueued,
+					MaxRunning: *tenantMaxRunning,
+					RatePerSec: *tenantRate,
+					Burst:      *tenantBurst,
+					Weight:     w,
+				}
+				quotas[name] = q
+			}
+			return quotas
+		}(),
 	})
 	if err != nil {
 		fatal(err)

@@ -418,8 +418,21 @@ func TestBenchServe(t *testing.T) {
 		t.Fatalf("recovery %.3fs implausibly beat the dead-declaration floor %.3fs",
 			res.Chaos.RecoverySeconds, res.Chaos.DeadAfterSeconds)
 	}
-	if out := serveBenchTable(res); !strings.Contains(out, "byte-identical") {
+	if res.Fairness.FIFO.P99Ms <= 0 || res.Fairness.Fair.P99Ms <= 0 {
+		t.Fatalf("fairness phase did not run: %+v", res.Fairness)
+	}
+	// The point of fair-share: with a heavy tenant saturating the fleet, the
+	// light tenant's worst-case latency must beat the FIFO baseline.
+	if res.Fairness.Fair.P99Ms >= res.Fairness.FIFO.P99Ms {
+		t.Fatalf("fair-share light-tenant p99 %.2fms did not beat FIFO %.2fms",
+			res.Fairness.Fair.P99Ms, res.Fairness.FIFO.P99Ms)
+	}
+	out := serveBenchTable(res)
+	if !strings.Contains(out, "byte-identical") {
 		t.Fatalf("BenchServe render:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup over FIFO") {
+		t.Fatalf("BenchServe render is missing the fairness rows:\n%s", out)
 	}
 	if BenchJSONWriters()["BENCH_serve.json"] == nil {
 		t.Fatal("BenchJSONWriters is missing BENCH_serve.json")

@@ -51,6 +51,38 @@ type ServeBenchResult struct {
 	Load ServeLoad `json:"load"`
 	// Chaos is the shard-kill phase.
 	Chaos ServeChaos `json:"chaos"`
+	// Fairness is the two-tenant fleet-saturation phase.
+	Fairness ServeFairness `json:"fairness"`
+}
+
+// ServeFairness is the weighted fair-share measurement: a heavy tenant
+// saturates the sampling fleet with long-running jobs while a light tenant
+// submits short jobs one at a time, under the FIFO baseline scheduler and
+// under fair-share. The light tenant's submit-to-done latency is the whole
+// point of per-tenant scheduling: under FIFO its batches queue behind every
+// heavy batch; under fair-share the two tenants' queues interleave.
+type ServeFairness struct {
+	// Workers is the sampling-fleet size both legs run on.
+	Workers int `json:"workers"`
+	// HeavyJobs is how many saturating jobs the heavy tenant keeps running.
+	HeavyJobs int `json:"heavy_jobs"`
+	// LightJobs is how many short jobs the light tenant submits serially.
+	LightJobs int `json:"light_jobs"`
+	// LightIterations is the light jobs' iteration cap.
+	LightIterations int `json:"light_iterations"`
+	// FIFO and Fair are the light tenant's latencies under each policy.
+	FIFO ServeFairnessLeg `json:"fifo"`
+	Fair ServeFairnessLeg `json:"fair"`
+	// FairSpeedupP99 is FIFO p99 / fair p99 — the headline: how much
+	// sooner the light tenant's worst-case job finishes under fair-share.
+	FairSpeedupP99 float64 `json:"fair_speedup_p99"`
+}
+
+// ServeFairnessLeg is the light tenant's submit-to-done latency under one
+// scheduling policy.
+type ServeFairnessLeg struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // ServeLoad is the steady-state serving measurement.
@@ -153,6 +185,87 @@ func serveSpec(seed int64, iters int) jobs.Spec {
 		MaxIterations: iters,
 		Tenant:        fmt.Sprintf("team%d", seed%4),
 	}
+}
+
+// fairSpec is the fairness-phase workload spec: pso rather than the serving
+// phases' simplex strategy, because a swarm evaluates all its particles as
+// one sampling batch per iteration — exactly the fleet-queue pressure the
+// fair-share scheduler arbitrates. (NM-family steps sample one point at a
+// time, which rides the scheduler's in-caller serial path and never queues.)
+func fairSpec(tenant string, seed int64, swarmIters int) jobs.Spec {
+	return jobs.Spec{
+		Objective:       "rosenbrock",
+		Dim:             3,
+		Algorithm:       "pso",
+		Sigma0:          50,
+		Seed:            seed,
+		Tol:             -1,
+		Budget:          1e12,
+		Particles:       16,
+		SwarmIterations: swarmIters,
+		Tenant:          tenant,
+	}
+}
+
+// fairnessLeg measures the light tenant's submit-to-done latency under one
+// scheduling policy: heavyJobs saturating jobs iterate until canceled on a
+// deliberately small sampling fleet, while the light tenant submits short
+// jobs one at a time and times each to completion.
+func fairnessLeg(policy string, workers, heavyJobs, lightJobs, lightIters int, delay time.Duration) (ServeFairnessLeg, error) {
+	var leg ServeFairnessLeg
+	// The contended resource is the shared sampling fleet, so the simulated
+	// cost sits on the fleet's workers (SampleCost, per increment) rather
+	// than in the objective, which a job evaluates in its own goroutine at
+	// point creation.
+	m, err := jobs.New(jobs.Config{
+		MaxConcurrent: heavyJobs + 1,
+		Workers:       workers,
+		SchedPolicy:   policy,
+		SampleCost:    LatencyCost(delay),
+	})
+	if err != nil {
+		return leg, err
+	}
+	defer m.Close()
+
+	// Saturate: the heavy tenant's jobs have an effectively unbounded
+	// iteration cap, so the fleet's queue stays full of heavy batches for
+	// the whole measurement; they are canceled once the light tenant is done.
+	heavyIDs := make([]string, 0, heavyJobs)
+	for i := 0; i < heavyJobs; i++ {
+		id, err := m.Submit(fairSpec("heavy", 3000+int64(i), 1<<30))
+		if err != nil {
+			return leg, err
+		}
+		heavyIDs = append(heavyIDs, id)
+	}
+	saturated := time.Now().Add(30 * time.Second)
+	for m.Stats().Running < heavyJobs {
+		if time.Now().After(saturated) {
+			return leg, fmt.Errorf("fairness: heavy tenant never saturated the fleet (%+v)", m.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	lats := make([]time.Duration, 0, lightJobs)
+	for i := 0; i < lightJobs; i++ {
+		start := time.Now()
+		id, err := m.Submit(fairSpec("light", 4000+int64(i), lightIters))
+		if err != nil {
+			return leg, err
+		}
+		if _, err := m.Wait(id); err != nil {
+			return leg, err
+		}
+		lats = append(lats, time.Since(start))
+	}
+	for _, id := range heavyIDs {
+		m.Cancel(id)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	leg.P50Ms = percentile(lats, 0.50)
+	leg.P99Ms = percentile(lats, 0.99)
+	return leg, nil
 }
 
 // submitOne posts a spec through the router and returns the assigned ID.
@@ -484,6 +597,35 @@ func ServeBench(opt Options) (*ServeBenchResult, error) {
 		WallSeconds:      drained.Sub(chaosStart).Seconds(),
 		Deterministic:    deterministic,
 	}
+
+	// Phase 3: fairness. Two fresh managers, identical except for the
+	// scheduling policy, each with a tiny sampling fleet the heavy tenant
+	// saturates. The per-point latency is raised well above timer jitter so
+	// the measured difference is the queueing structure, not noise.
+	fairWorkers, heavyJobs, lightJobs, lightIters := 2, 8, 6, 8
+	if opt.Quick {
+		heavyJobs, lightJobs, lightIters = 6, 5, 6
+	}
+	fairDelay := 5 * delay
+	fifoLeg, fifoErr := fairnessLeg("fifo", fairWorkers, heavyJobs, lightJobs, lightIters, fairDelay)
+	if fifoErr != nil {
+		return nil, fifoErr
+	}
+	fairLeg, fairErr := fairnessLeg("fair", fairWorkers, heavyJobs, lightJobs, lightIters, fairDelay)
+	if fairErr != nil {
+		return nil, fairErr
+	}
+	res.Fairness = ServeFairness{
+		Workers:         fairWorkers,
+		HeavyJobs:       heavyJobs,
+		LightJobs:       lightJobs,
+		LightIterations: lightIters,
+		FIFO:            fifoLeg,
+		Fair:            fairLeg,
+	}
+	if fairLeg.P99Ms > 0 {
+		res.Fairness.FairSpeedupP99 = fifoLeg.P99Ms / fairLeg.P99Ms
+	}
 	return res, nil
 }
 
@@ -525,5 +667,25 @@ func serveBenchTable(res *ServeBenchResult) string {
 		res.Chaos.Jobs, res.Chaos.KilledShardJobs, res.Chaos.RecoveredJobs,
 		res.Chaos.DeadAfterSeconds, res.Chaos.RecoverySeconds)
 	fmt.Fprintf(&b, "recovered results byte-identical to uninterrupted reference runs: %v\n", res.Chaos.Deterministic)
+	fmt.Fprintf(&b, "fairness: light tenant vs %d heavy jobs saturating %d workers (%d iterations/job)\n",
+		res.Fairness.HeavyJobs, res.Fairness.Workers, res.Fairness.LightIterations)
+	b.WriteString(textplot.Table(
+		[]string{"policy", "light jobs", "p50 (ms)", "p99 (ms)"},
+		[][]string{
+			{
+				"fifo",
+				fmt.Sprintf("%d", res.Fairness.LightJobs),
+				fmt.Sprintf("%.1f", res.Fairness.FIFO.P50Ms),
+				fmt.Sprintf("%.1f", res.Fairness.FIFO.P99Ms),
+			},
+			{
+				"fair",
+				fmt.Sprintf("%d", res.Fairness.LightJobs),
+				fmt.Sprintf("%.1f", res.Fairness.Fair.P50Ms),
+				fmt.Sprintf("%.1f", res.Fairness.Fair.P99Ms),
+			},
+		},
+	))
+	fmt.Fprintf(&b, "fair-share light-tenant p99 speedup over FIFO: %.1fx\n", res.Fairness.FairSpeedupP99)
 	return b.String()
 }

@@ -147,6 +147,11 @@ type Config struct {
 	// Workers sizes the shared sched fleet all job spaces dispatch on.
 	// Zero selects GOMAXPROCS.
 	Workers int
+	// SchedPolicy selects how the shared fleet orders batch tasks across
+	// tenants: "fair" (default) is weighted fair-share by Quota.Weight,
+	// "fifo" is the single-global-queue baseline the serving benchmark
+	// contrasts it against.
+	SchedPolicy string
 	// Store, when non-nil, is the durable job store: every accepted job is
 	// recorded in it at submission (so a killed-while-queued job survives),
 	// updated with each optimizer snapshot, and removed on completion. The
@@ -176,6 +181,13 @@ type Config struct {
 	RetainTerminal int
 	// Objectives adds custom named objectives to the testfunc catalog.
 	Objectives map[string]func(x []float64) float64
+	// SampleCost, if non-nil, models the per-increment CPU cost of sampling
+	// (sim.LocalConfig.SampleCost) in every job space this manager builds.
+	// An objective's F runs once at point creation in the job's own
+	// goroutine; SampleCost is what each sampling increment pays on the
+	// shared fleet's workers — it is what makes fleet scheduling (and the
+	// fairness benchmark) meaningful. Must be safe for concurrent calls.
+	SampleCost func(x []float64, dt float64)
 	// Fleet, when non-nil, lets jobs with Spec.Fleet run their sampling over
 	// a remote worker fleet (a dist.Coordinator) instead of the in-process
 	// pool. The manager does not own the fleet; the caller (cmd/optd)
@@ -204,6 +216,9 @@ func (c *Config) normalize() {
 	}
 	if c.RetainTerminal == 0 {
 		c.RetainTerminal = 4096
+	}
+	if c.SchedPolicy == "" {
+		c.SchedPolicy = "fair"
 	}
 }
 
@@ -262,6 +277,11 @@ type Manager struct {
 	nextID   int                     // guarded by mu
 	closed   bool                    // guarded by mu
 
+	// now is the manager's clock, set once in New and only overridden by
+	// tests: the token-bucket refill math is a pure function of the times
+	// it returns, so rate-limit boundaries are testable without sleeping.
+	now func() time.Time
+
 	wg sync.WaitGroup
 }
 
@@ -276,12 +296,22 @@ var ErrClosed = errors.New("jobs: manager is closed")
 // Recover to pick them up.
 func New(cfg Config) (*Manager, error) {
 	cfg.normalize()
+	var policy sched.Policy
+	switch cfg.SchedPolicy {
+	case "fair":
+		policy = sched.FairShare
+	case "fifo":
+		policy = sched.FIFO
+	default:
+		return nil, fmt.Errorf("jobs: unknown SchedPolicy %q (want \"fair\" or \"fifo\")", cfg.SchedPolicy)
+	}
 	m := &Manager{
 		cfg:      cfg,
-		pool:     sched.New(sched.Config{Workers: cfg.Workers}),
+		pool:     sched.New(sched.Config{Workers: cfg.Workers, Policy: policy}),
 		jobs:     make(map[string]*job),
 		tenants:  make(map[string]*tenantState),
 		reserved: make(map[string]struct{}),
+		now:      time.Now,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if err := m.initStore(); err != nil {
@@ -374,7 +404,7 @@ func (m *Manager) submit(explicit string, spec Spec) (string, error) {
 		m.bumpIDLocked(id)
 	}
 	ts := m.tenantLocked(tenant)
-	if err := m.admitLocked(ts, time.Now()); err != nil {
+	if err := m.admitLocked(ts, m.now()); err != nil {
 		m.mu.Unlock()
 		return "", err
 	}

@@ -195,11 +195,12 @@ func (m *Manager) space(spec Spec) (*sim.LocalSpace, error) {
 		return nil, err
 	}
 	cfg := sim.LocalConfig{
-		Dim:      spec.Dim,
-		F:        f.F,
-		Sigma0:   sim.ConstSigma(spec.Sigma0),
-		Seed:     spec.Seed,
-		Parallel: true,
+		Dim:        spec.Dim,
+		F:          f.F,
+		Sigma0:     sim.ConstSigma(spec.Sigma0),
+		Seed:       spec.Seed,
+		Parallel:   true,
+		SampleCost: m.cfg.SampleCost,
 	}
 	switch {
 	case spec.Fleet:
@@ -215,6 +216,9 @@ func (m *Manager) space(spec Spec) (*sim.LocalSpace, error) {
 		cfg.Workers = spec.Workers
 	default:
 		cfg.Pool = m.pool
+		// Batches on the shared fleet are charged to the job's tenant, so
+		// the scheduler can divide fleet capacity by Quota.Weight.
+		cfg.Tenant = tenantOf(spec.Tenant)
 	}
 	return sim.NewLocalSpace(cfg), nil
 }

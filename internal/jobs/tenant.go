@@ -38,6 +38,20 @@ type Quota struct {
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
 	// Burst is the bucket depth; zero selects ceil(RatePerSec), min 1.
 	Burst int `json:"burst,omitempty"`
+	// Weight is the tenant's fair-share weight on the sampling fleet: while
+	// tenants are backlogged, a weight-w tenant's batches receive w fleet
+	// dispatch slots per weight-1 slot (see sched.FairShare). Zero selects
+	// 1. Unlike the other fields it shapes capacity rather than bounding
+	// it: an idle fleet still serves any tenant at full speed.
+	Weight int `json:"weight,omitempty"`
+}
+
+// weight is the effective fair-share weight.
+func (q Quota) weight() int {
+	if q.Weight > 0 {
+		return q.Weight
+	}
+	return 1
 }
 
 // burst is the effective bucket depth.
@@ -86,12 +100,15 @@ func (m *Manager) tenantLocked(name string) *tenantState {
 	if !ok {
 		quota = m.cfg.DefaultQuota
 	}
+	// Register the tenant's fair-share weight with the fleet scheduler, so
+	// its first batch already dispatches at the right share.
+	m.pool.SetWeight(name, quota.weight())
 	reg := obs.Default()
 	ts := &tenantState{
 		name:       name,
 		quota:      quota,
 		tokens:     quota.burst(), // a fresh tenant starts with a full bucket
-		lastRefill: time.Now(),
+		lastRefill: m.now(),
 		mQueued: reg.Gauge(fmt.Sprintf("jobs_tenant_queued{tenant=%q}", name),
 			"jobs queued, by tenant"),
 		mRunning: reg.Gauge(fmt.Sprintf("jobs_tenant_running{tenant=%q}", name),
@@ -113,6 +130,16 @@ func (m *Manager) tenantLocked(name string) *tenantState {
 // with unadmitLocked if persistence fails.
 func (m *Manager) admitLocked(ts *tenantState, now time.Time) error {
 	q := ts.quota
+	// The queued-job quota is checked before the rate limit: the quota
+	// rejection reserves nothing, while the rate check consumes a token.
+	// In the other order a tenant pinned at its queue cap would drain its
+	// bucket on every rejected submission and then eat spurious rate
+	// errors after the queue frees up.
+	if q.MaxQueued > 0 && ts.queued >= q.MaxQueued {
+		ts.rejected++
+		ts.mRejQuota.Inc()
+		return fmt.Errorf("%w: tenant %q has %d jobs queued (max %d)", ErrQuotaExceeded, ts.name, ts.queued, q.MaxQueued)
+	}
 	if q.RatePerSec > 0 {
 		// Token-bucket refill: elapsed wall time buys tokens, capped at the
 		// bucket depth so idle time cannot bank an unbounded burst.
@@ -124,11 +151,6 @@ func (m *Manager) admitLocked(ts *tenantState, now time.Time) error {
 			return fmt.Errorf("%w: tenant %q over %.3g/s", ErrRateLimited, ts.name, q.RatePerSec)
 		}
 		ts.tokens--
-	}
-	if q.MaxQueued > 0 && ts.queued >= q.MaxQueued {
-		ts.rejected++
-		ts.mRejQuota.Inc()
-		return fmt.Errorf("%w: tenant %q has %d jobs queued (max %d)", ErrQuotaExceeded, ts.name, ts.queued, q.MaxQueued)
 	}
 	ts.queued++
 	ts.mQueued.Set(float64(ts.queued))
@@ -176,7 +198,9 @@ type TenantStats struct {
 	Running   int    `json:"running"`
 	Submitted int    `json:"submitted"`
 	Rejected  int    `json:"rejected"`
-	Quota     Quota  `json:"quota,omitzero"`
+	// Weight is the effective fair-share weight (Quota.Weight, min 1).
+	Weight int   `json:"weight"`
+	Quota  Quota `json:"quota,omitzero"`
 }
 
 // Tenants returns per-tenant accounting, sorted by tenant name. Only
@@ -193,6 +217,7 @@ func (m *Manager) Tenants() []TenantStats {
 			Running:   ts.running,
 			Submitted: ts.submitted,
 			Rejected:  ts.rejected,
+			Weight:    ts.quota.weight(),
 			Quota:     ts.quota,
 		})
 	}

@@ -161,7 +161,10 @@ func TestTenantStorm(t *testing.T) {
 	)
 	m := newManager(t, Config{
 		MaxConcurrent: 4,
-		// Tight quotas so the storm constantly trips them.
+		// A multi-worker fleet so batches go through the concurrent
+		// fair-share queues (Workers 1 would run serially in-caller), and
+		// tight quotas so the storm constantly trips them.
+		Workers:      4,
 		DefaultQuota: Quota{MaxQueued: 6, MaxRunning: 2},
 	})
 	var (
@@ -225,6 +228,23 @@ func TestTenantStorm(t *testing.T) {
 	}
 	if got := len(m.Tenants()); got != tenants {
 		t.Errorf("expected %d tenants, got %d", tenants, got)
+	}
+	// The fleet's fair-share ledger must balance too: every batch task
+	// handed to a worker was charged to exactly one tenant, nothing stays
+	// queued once every job is terminal, and the per-tenant dispatched
+	// counters sum to the scheduler's total.
+	var dispatched uint64
+	for _, sh := range m.pool.Shares() {
+		if sh.Queued != 0 {
+			t.Errorf("tenant %q still has %d fleet tasks queued", sh.Tenant, sh.Queued)
+		}
+		dispatched += sh.Dispatched
+	}
+	if total := m.pool.Dispatched(); dispatched != total {
+		t.Errorf("per-tenant fleet dispatches sum to %d, scheduler total is %d", dispatched, total)
+	}
+	if m.pool.Dispatched() == 0 {
+		t.Error("storm dispatched no fleet batches through the fair-share queues")
 	}
 }
 
@@ -414,6 +434,107 @@ func TestTenantQuotaRollbackOnStoreFailure(t *testing.T) {
 	for _, ts := range m.Tenants() {
 		if ts.Tenant == "acme" && ts.Queued != 0 {
 			t.Fatalf("tenant accounting after rollbacks: queued = %d, want 0", ts.Queued)
+		}
+	}
+}
+
+// TestQuotaCapDoesNotDrainBucket is the regression test for the admission
+// ordering bug: rejections at the queued-job cap must not consume rate
+// tokens. Before the fix, every capped submission first burned a token, so
+// a tenant hammering a full queue drained its bucket and then ate spurious
+// rate errors after the queue freed up.
+func TestQuotaCapDoesNotDrainBucket(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 1,
+		TenantQuotas:  map[string]Quota{"acme": {MaxQueued: 1, RatePerSec: 0.001, Burst: 2}},
+		Objectives:    slowObjectives(time.Millisecond),
+	})
+	t0 := time.Unix(1_700_000_000, 0)
+	m.now = func() time.Time { return t0 } // frozen clock: no refill during the test
+
+	// Occupy the run slot, then the tenant's single queued slot.
+	blocker := slowSpec(1)
+	blocker.Tenant = "other"
+	blockerID, err := m.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, m, blockerID, StateRunning)
+	queuedID, err := m.Submit(tenantSpec("acme", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the full queue. Every rejection must be the quota error —
+	// with the buggy ordering the second one already surfaced as
+	// ErrRateLimited because the first had silently burned the last token.
+	for i := 0; i < 5; i++ {
+		_, err := m.Submit(tenantSpec("acme", int64(10+i)))
+		if !errors.Is(err, ErrQuotaExceeded) {
+			t.Fatalf("capped submission %d: %v, want ErrQuotaExceeded", i, err)
+		}
+	}
+
+	// Free the queue: the bucket must still hold its remaining token, so
+	// the next submission is admitted without any refill time passing.
+	if err := m.Cancel(queuedID); err != nil {
+		t.Fatal(err)
+	}
+	lastID, err := m.Submit(tenantSpec("acme", 20))
+	if err != nil {
+		t.Fatalf("submission after freeing the cap: %v (the cap rejections drained the bucket)", err)
+	}
+	// And that was the last token (burst 2, frozen clock): with queue room
+	// available again, the next rejection is the rate limiter's.
+	if err := m.Cancel(lastID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(tenantSpec("acme", 21)); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("bucket should now be empty: %v, want ErrRateLimited", err)
+	}
+}
+
+// TestRateRefillBoundaries drives the token bucket through its refill
+// boundaries on an injected clock — no sleeping, bitwise-exact arithmetic
+// (0.5s × 2/s buys exactly 1.0 tokens in binary floating point).
+func TestRateRefillBoundaries(t *testing.T) {
+	m := newManager(t, Config{
+		MaxConcurrent: 2,
+		TenantQuotas:  map[string]Quota{"metered": {RatePerSec: 2, Burst: 4}},
+	})
+	now := time.Unix(1_700_000_000, 0)
+	m.now = func() time.Time { return now }
+
+	steps := []struct {
+		name    string
+		advance time.Duration
+		admit   int  // submissions that must succeed at this instant
+		then    bool // whether one more must be rate-limited
+	}{
+		// A fresh tenant starts with a full bucket; the burst admits
+		// exactly Burst submissions and the empty bucket rejects the next.
+		{"burst-then-empty", 0, 4, true},
+		// 0.5s at 2 tokens/s refills exactly one token: one admit, then
+		// empty again — the exact-1-token boundary.
+		{"exact-one-token", 500 * time.Millisecond, 1, true},
+		// A long idle caps the refill at the burst depth: exactly 4, not
+		// 2 tokens/s × 10min.
+		{"idle-caps-at-burst", 10 * time.Minute, 4, true},
+	}
+	seed := int64(0)
+	for _, step := range steps {
+		now = now.Add(step.advance)
+		for i := 0; i < step.admit; i++ {
+			seed++
+			if _, err := m.Submit(tenantSpec("metered", seed)); err != nil {
+				t.Fatalf("%s: admit %d/%d: %v", step.name, i+1, step.admit, err)
+			}
+		}
+		if step.then {
+			seed++
+			if _, err := m.Submit(tenantSpec("metered", seed)); !errors.Is(err, ErrRateLimited) {
+				t.Fatalf("%s: over-rate submission: %v, want ErrRateLimited", step.name, err)
+			}
 		}
 	}
 }

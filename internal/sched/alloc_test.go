@@ -52,3 +52,42 @@ func TestDoNConcurrentAllocBudget(t *testing.T) {
 	}
 	t.Logf("concurrent DoN(256): %.1f allocs per call (budget %d)", allocs, budget)
 }
+
+// TestDequeueAllocFree pins the fair-share dispatch decision itself at zero
+// allocations in steady state: once a tenant's ring has grown to the
+// backlog's high-water mark, an enqueue/dequeue round trip — stride
+// selection, ring pop, ready-set maintenance, per-tenant metrics — must not
+// allocate. This is the new per-task cost every pool worker pays.
+func TestDequeueAllocFree(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	s.SetWeight("a", 3)
+	s.SetWeight("b", 1)
+	task := func() {}
+	// Warm the rings past their high-water mark so growth is paid up front.
+	s.mu.Lock()
+	qa, qb := s.queueForLocked("a"), s.queueForLocked("b")
+	for i := 0; i < 32; i++ {
+		s.enqueueLocked(qa, task)
+		s.enqueueLocked(qb, task)
+	}
+	for s.pending > 0 {
+		s.dequeueLocked()
+	}
+	s.mu.Unlock()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s.mu.Lock()
+		for i := 0; i < 8; i++ {
+			s.enqueueLocked(qa, task)
+			s.enqueueLocked(qb, task)
+		}
+		for s.pending > 0 {
+			s.dequeueLocked()
+		}
+		s.mu.Unlock()
+	})
+	if allocs != 0 {
+		t.Errorf("enqueue/dequeue cycle: %.1f allocs, want 0", allocs)
+	}
+}

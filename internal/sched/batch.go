@@ -51,12 +51,20 @@ func (e *Entry) Canceled() bool { return e.state.Load() == entryCanceled }
 // exactly once. The zero value is not usable; use Scheduler.NewBatch.
 type Batch struct {
 	s       *Scheduler
+	tenant  string
 	entries []*Entry
 	waited  bool
 }
 
-// NewBatch starts an empty batch on the scheduler.
+// NewBatch starts an empty batch on the scheduler, charged to the ""
+// tenant's fair-share queue.
 func (s *Scheduler) NewBatch() *Batch { return &Batch{s: s} }
+
+// NewBatchAs starts an empty batch charged to the named tenant's fair-share
+// queue.
+func (s *Scheduler) NewBatchAs(tenant string) *Batch {
+	return &Batch{s: s, tenant: tenant}
+}
 
 // Submit adds a task with the given dispatch priority (lower runs earlier)
 // and returns its cancellation handle. Entries with equal priority dispatch
@@ -124,54 +132,55 @@ func (b *Batch) wait(ctx context.Context) error {
 		return nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		cancelRemaining(order)
+		return err
+	}
 	s.start()
 	var (
-		wg  sync.WaitGroup
-		box panicBox
-		err error
+		wg        sync.WaitGroup
+		box       panicBox
+		withdrawn atomic.Bool
 	)
-dispatch:
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancelRemaining(order)
+		return ErrClosed
+	}
+	q := s.queueForLocked(b.tenant)
 	for _, e := range order {
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-			break dispatch
-		}
-		if !e.state.CompareAndSwap(entryPending, entryDispatched) {
-			continue // canceled before dispatch
+		if e.state.Load() == entryCanceled {
+			continue // already withdrawn; skip the queue round-trip
 		}
 		e := e
 		wg.Add(1)
-		wrapped := func() {
+		s.enqueueLocked(q, func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				// The batch was aborted while this entry sat in the queue:
+				// it never reached dispatch, so it is withdrawn —
+				// Canceled() must report true for it like any other unrun
+				// entry. CAS so a concurrent Cancel is not overridden.
+				if e.state.CompareAndSwap(entryPending, entryCanceled) {
+					withdrawn.Store(true)
+				}
+				return
+			}
+			if !e.state.CompareAndSwap(entryPending, entryDispatched) {
+				return // canceled while queued
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					box.capture(r)
 				}
 			}()
 			e.fn()
-		}
-		select {
-		case s.queue <- wrapped:
-		case <-ctx.Done():
-			// The send was abandoned: the task never reached a worker, so
-			// the entry is withdrawn, not dispatched — Canceled() must
-			// report true for it like any other unrun entry. CAS (not a
-			// blind store) so only this entry's known dispatched state is
-			// reverted.
-			e.state.CompareAndSwap(entryDispatched, entryCanceled)
-			wg.Done()
-			err = ctx.Err()
-			break dispatch
-		case <-s.quit:
-			e.state.CompareAndSwap(entryDispatched, entryCanceled)
-			wg.Done()
-			err = ErrClosed
-			break dispatch
-		}
+		})
 	}
-	if err != nil {
-		cancelRemaining(order)
-	}
+	q.mDepth.Set(float64(q.n))
+	s.mu.Unlock()
+	s.cond.Broadcast()
 	wg.Wait()
 	box.mu.Lock()
 	val, set := box.val, box.set
@@ -179,7 +188,10 @@ dispatch:
 	if set {
 		panic(val)
 	}
-	return err
+	if withdrawn.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // cancelRemaining withdraws every entry still pending, so an aborted batch

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// drainOrder enqueues counts[i] no-op tasks for tenants[i] (interleaved, as
+// concurrent submitters would), then pops the whole backlog through
+// dequeueLocked and returns the tenant name charged for each dispatch slot,
+// in order. No workers run: this exercises exactly the dispatch decision,
+// which is specified to be a pure function of queue state.
+func drainOrder(s *Scheduler, tenants []string, counts []int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for round := 0; ; round++ {
+		queued := false
+		for ti, name := range tenants {
+			if round < counts[ti] {
+				s.enqueueLocked(s.queueForLocked(name), func() {})
+				queued = true
+			}
+		}
+		if !queued {
+			break
+		}
+	}
+	var order []string
+	for s.pending > 0 {
+		// Identify the winning queue by observing which tenant's dispatched
+		// counter advanced.
+		before := make(map[string]uint64, len(s.all))
+		for _, q := range s.all {
+			before[q.name] = q.dispatched
+		}
+		s.dequeueLocked()
+		for _, q := range s.all {
+			if q.dispatched != before[q.name] {
+				order = append(order, q.name)
+			}
+		}
+	}
+	return order
+}
+
+// TestFairShareWeightedOrder pins the stride schedule itself: with tenant a
+// at weight 3 and tenant b at weight 1, every window of 4 consecutive
+// dispatch slots under a full backlog gives a exactly 3 and b exactly 1 —
+// the "~3x the batch slots under contention" contract, with no timing in
+// the loop at all.
+func TestFairShareWeightedOrder(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	s.SetWeight("a", 3)
+	s.SetWeight("b", 1)
+
+	// Backlogs proportional to weight, so both queues stay backlogged until
+	// the very end and every window sees real contention.
+	order := drainOrder(s, []string{"a", "b"}, []int{60, 20})
+	if len(order) != 80 {
+		t.Fatalf("drained %d slots, want 80", len(order))
+	}
+	for win := 0; win+4 <= len(order); win += 4 {
+		got := map[string]int{}
+		for _, name := range order[win : win+4] {
+			got[name]++
+		}
+		if got["a"] != 3 || got["b"] != 1 {
+			t.Fatalf("window %d..%d dispatched %v, want a:3 b:1 (order %v)",
+				win, win+4, got, order[:win+4])
+		}
+	}
+}
+
+// TestFairShareEqualWeightsAlternate pins the deterministic tie-break: equal
+// weights and equal backlogs must strictly alternate, with the lexically
+// smaller tenant winning ties.
+func TestFairShareEqualWeightsAlternate(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+
+	order := drainOrder(s, []string{"beta", "alpha"}, []int{10, 10})
+	for i, name := range order {
+		want := "alpha"
+		if i%2 == 1 {
+			want = "beta"
+		}
+		if name != want {
+			t.Fatalf("slot %d went to %q, want %q (order %v)", i, name, want, order)
+		}
+	}
+}
+
+// TestFIFOPolicyIgnoresTenants pins the benchmark baseline: under FIFO every
+// submission lands in one queue and drains in arrival order, whatever the
+// weights say.
+func TestFIFOPolicyIgnoresTenants(t *testing.T) {
+	s := New(Config{Workers: 4, Policy: FIFO})
+	defer s.Close()
+	s.SetWeight("a", 1000)
+
+	var got []int
+	s.mu.Lock()
+	for i := 0; i < 8; i++ {
+		i := i
+		tenant := "a"
+		if i%2 == 1 {
+			tenant = "b"
+		}
+		s.enqueueLocked(s.queueForLocked(tenant), func() { got = append(got, i) })
+	}
+	for s.pending > 0 {
+		s.dequeueLocked()()
+	}
+	s.mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO drained %v, want strict arrival order", got)
+		}
+	}
+	if len(s.tenants) != 1 {
+		t.Fatalf("FIFO built %d queues, want 1", len(s.tenants))
+	}
+}
+
+// TestFairShareActivationCatchup pins the virtual-time floor: a tenant that
+// sat idle while another consumed many slots must re-enter at the current
+// virtual time and share from there — not replay its unused past and
+// monopolize the fleet.
+func TestFairShareActivationCatchup(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+
+	s.mu.Lock()
+	busy := s.queueForLocked("busy")
+	for i := 0; i < 50; i++ {
+		s.enqueueLocked(busy, func() {})
+	}
+	for i := 0; i < 25; i++ {
+		s.dequeueLocked()
+	}
+	// "idle" wakes up mid-stream with its own backlog.
+	idle := s.queueForLocked("idle")
+	for i := 0; i < 25; i++ {
+		s.enqueueLocked(idle, func() {})
+	}
+	beforeBusy, beforeIdle := busy.dispatched, idle.dispatched
+	for i := 0; i < 10; i++ {
+		s.dequeueLocked()
+	}
+	gotBusy := int(busy.dispatched - beforeBusy)
+	gotIdle := int(idle.dispatched - beforeIdle)
+	s.mu.Unlock()
+	// With the catch-up, the next 10 slots split evenly (5/5). Without it,
+	// idle's pass would lag 25 strides behind and it would take all 10.
+	if gotBusy != 5 || gotIdle != 5 {
+		t.Fatalf("post-activation split busy=%d idle=%d, want 5/5", gotBusy, gotIdle)
+	}
+}
+
+// TestSharesAccountingBalances runs real concurrent traffic from several
+// tenants and asserts the fair-share ledger balances: per-tenant dispatched
+// counters sum exactly to the scheduler's total, and every queue drains.
+func TestSharesAccountingBalances(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	ctx := context.Background()
+
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	tenants := []string{"a", "b", "c"}
+	for gi, tenant := range tenants {
+		wg.Add(1)
+		go func(tenant string, w int) {
+			defer wg.Done()
+			s.SetWeight(tenant, w)
+			for k := 0; k < 20; k++ {
+				if err := s.DoNAs(ctx, tenant, 16, func(int) { ran.Add(1) }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(tenant, gi+1)
+	}
+	wg.Wait()
+
+	if got := ran.Load(); got != 3*20*16 {
+		t.Fatalf("ran %d tasks, want %d", got, 3*20*16)
+	}
+	shares := s.Shares()
+	var sum uint64
+	for _, sh := range shares {
+		if sh.Queued != 0 {
+			t.Errorf("tenant %q still has %d queued after drain", sh.Tenant, sh.Queued)
+		}
+		sum += sh.Dispatched
+	}
+	if total := s.Dispatched(); sum != total {
+		t.Fatalf("per-tenant dispatched sums to %d, total says %d", sum, total)
+	}
+	for i := 1; i < len(shares); i++ {
+		if shares[i-1].Tenant >= shares[i].Tenant {
+			t.Fatalf("Shares not sorted by tenant: %+v", shares)
+		}
+	}
+}

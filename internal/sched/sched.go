@@ -57,17 +57,39 @@ type Config struct {
 	// to serial in-caller execution with no goroutines at all, which is the
 	// reference semantics every concurrent run must reproduce bitwise.
 	Workers int
+
+	// Policy selects how queued tasks are ordered across tenants: FairShare
+	// (the zero value) drains per-tenant queues by weighted stride
+	// round-robin; FIFO is the single-global-queue baseline.
+	Policy Policy
 }
 
 // Scheduler executes batches of evaluation requests on a bounded pool of
 // worker goroutines. The zero value is not usable; use New. A Scheduler is
 // safe for concurrent use by multiple goroutines, though the sampling
 // backends serialize batches themselves (one batch per simplex decision).
+//
+// Concurrent submissions land in per-tenant run queues (see DoAs, DoNAs and
+// NewBatchAs; the untenanted entry points use the "" tenant) and workers
+// drain them under the configured Policy. Within one tenant, tasks dispatch
+// in submission order; across tenants, FairShare interleaves queues by
+// weighted stride round-robin. Fairness never changes results — draws are
+// pure functions of (stream seed, draw index) — only who waits.
 type Scheduler struct {
 	workers int
+	policy  Policy
 
-	queue chan func()
-	quit  chan struct{}
+	quit chan struct{}
+
+	mu         sync.Mutex
+	cond       *sync.Cond              // signaled when pending rises or the scheduler closes
+	tenants    map[string]*tenantQueue // tenant name -> queue; accessed by key only
+	all        []*tenantQueue          // creation order; deterministic iteration for Shares
+	ready      []*tenantQueue          // non-empty queues, order-insensitive (dequeue scans for min)
+	pending    int                     // queued tasks across all tenants
+	closed     bool
+	vtime      uint64 // pass of the most recent dispatch; floors re-activating tenants
+	dispatched uint64 // lifetime tasks handed to workers
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -81,11 +103,14 @@ func New(cfg Config) *Scheduler {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		workers: w,
-		queue:   make(chan func()),
+		policy:  cfg.Policy,
 		quit:    make(chan struct{}),
+		tenants: make(map[string]*tenantQueue),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 var (
@@ -109,26 +134,44 @@ func (s *Scheduler) start() {
 	s.startOnce.Do(func() {
 		for i := 0; i < s.workers; i++ {
 			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				for {
-					select {
-					case <-s.quit:
-						return
-					case fn := <-s.queue:
-						fn()
-					}
-				}
-			}()
+			go s.worker()
 		}
 	})
 }
 
-// Close stops the worker goroutines. It must not be called while a Do is in
-// flight; it is idempotent. Closing a scheduler whose workers never started
-// is a no-op.
+// worker pops tasks off the fair-share queues until the scheduler is closed
+// and drained. Draining (rather than abandoning) queued tasks on close keeps
+// every batch's WaitGroup accounting exact: a task that was accepted into a
+// queue always runs its wrapper, which decides for itself whether to execute
+// or withdraw.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.pending == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.pending == 0 {
+			s.mu.Unlock()
+			return
+		}
+		fn := s.dequeueLocked()
+		s.mu.Unlock()
+		fn()
+	}
+}
+
+// Close stops the worker goroutines after draining already-queued tasks. It
+// must not be called while a Do is in flight; it is idempotent. Closing a
+// scheduler whose workers never started is a no-op.
 func (s *Scheduler) Close() {
-	s.closeOnce.Do(func() { close(s.quit) })
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.quit)
+		s.cond.Broadcast()
+	})
 	s.wg.Wait()
 }
 
@@ -151,18 +194,24 @@ func (p *panicBox) capture(v any) {
 
 // Do executes every task in the batch and returns when all dispatched tasks
 // have finished. With Workers == 1 (or a single task) the batch runs serially
-// on the calling goroutine. Cancellation is checked before every dispatch, so
-// an already-canceled context dispatches nothing; if ctx is canceled
-// mid-batch, at most the task currently being offered to a worker is still
-// dispatched, already-running tasks finish, and ctx.Err() is returned. The
-// caller cannot assume which of the remaining tasks ran. A panic inside any
-// task is re-raised on the calling goroutine after the batch drains.
+// on the calling goroutine. An already-canceled context dispatches nothing;
+// if ctx is canceled mid-batch, queued tasks are withdrawn as workers reach
+// them, already-running tasks finish, and ctx.Err() is returned. The caller
+// cannot assume which of the remaining tasks ran. A panic inside any task is
+// re-raised on the calling goroutine after the batch drains.
 func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
+	return s.DoAs(ctx, "", tasks)
+}
+
+// DoAs is Do with the batch charged to the named tenant's fair-share queue.
+// The empty tenant is a queue of its own, so untenanted work competes like
+// any weight-1 tenant.
+func (s *Scheduler) DoAs(ctx context.Context, tenant string, tasks []func()) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
 	if !obs.Enabled() {
-		return s.do(ctx, tasks)
+		return s.do(ctx, tenant, tasks)
 	}
 	serial := s.workers == 1 || len(tasks) == 1
 	if serial {
@@ -170,7 +219,7 @@ func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
 	}
 	mInflight.Inc()
 	start := time.Now() //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
-	err := s.do(ctx, tasks)
+	err := s.do(ctx, tenant, tasks)
 	mBatchSeconds.Observe(time.Since(start).Seconds()) //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	mBatches.Inc()
 	mTasks.Add(int64(len(tasks)))
@@ -181,50 +230,50 @@ func (s *Scheduler) Do(ctx context.Context, tasks []func()) error {
 	return err
 }
 
-// do is the uninstrumented batch body behind Do.
-func (s *Scheduler) do(ctx context.Context, tasks []func()) error {
+// do is the uninstrumented batch body behind Do/DoAs. Every task is enqueued
+// up front on the tenant's queue; the wrapper each worker runs withdraws
+// instead of executing once ctx has ended, so an aborted batch still drains
+// its WaitGroup exactly.
+func (s *Scheduler) do(ctx context.Context, tenant string, tasks []func()) error {
 	if s.workers == 1 || len(tasks) == 1 {
 		return s.doSerial(ctx, tasks)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	s.start()
 	var (
-		wg  sync.WaitGroup
-		box panicBox
-		err error
+		wg        sync.WaitGroup
+		box       panicBox
+		withdrawn atomic.Bool
 	)
-dispatch:
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	q := s.queueForLocked(tenant)
 	for _, fn := range tasks {
-		// Pre-check so a canceled context deterministically stops dispatch;
-		// the select below would otherwise race ctx.Done against a parked
-		// worker's queue receive.
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-			break dispatch
-		}
 		fn := fn
 		wg.Add(1)
-		wrapped := func() {
+		s.enqueueLocked(q, func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				withdrawn.Store(true)
+				return
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					box.capture(r)
 				}
 			}()
 			fn()
-		}
-		select {
-		case s.queue <- wrapped:
-		case <-ctx.Done():
-			wg.Done()
-			err = ctx.Err()
-			break dispatch
-		case <-s.quit:
-			wg.Done()
-			err = ErrClosed
-			break dispatch
-		}
+		})
 	}
+	q.mDepth.Set(float64(q.n))
+	s.mu.Unlock()
+	s.cond.Broadcast()
 	wg.Wait()
 	box.mu.Lock()
 	val, set := box.val, box.set
@@ -232,7 +281,10 @@ dispatch:
 	if set {
 		panic(val)
 	}
-	return err
+	if withdrawn.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // nbatch is one DoN batch in flight: participants claim indices from a shared
@@ -240,18 +292,19 @@ dispatch:
 // closure allocation and a channel handoff — the zero-allocation shape of the
 // per-draw hot path.
 type nbatch struct {
-	fn      func(int)
-	n       int64
-	ctx     context.Context
-	next    atomic.Int64
-	drained sync.Once
-	done    chan struct{} // closed when the last index is claimed
-	wg      sync.WaitGroup
-	box     panicBox
+	fn   func(int)
+	n    int64
+	ctx  context.Context
+	next atomic.Int64
+	wg   sync.WaitGroup
+	box  panicBox
 }
 
 // run claims and executes indices until the batch is exhausted or its context
-// ends. It is the body every participant (pool worker) executes.
+// ends. It is the body every participant (pool worker) executes. A
+// participant dequeued after the cursor is exhausted (or the context ended)
+// returns immediately; enqueueing a few no-op participants is cheaper than
+// withdrawing them from the middle of a ring.
 func (b *nbatch) run() {
 	defer b.wg.Done()
 	mBusy.Inc()
@@ -260,9 +313,6 @@ func (b *nbatch) run() {
 		i := b.next.Add(1) - 1
 		if i >= b.n {
 			return
-		}
-		if i == b.n-1 {
-			b.drained.Do(func() { close(b.done) })
 		}
 		b.runOne(int(i))
 	}
@@ -289,11 +339,18 @@ func (b *nbatch) runOne(i int) {
 // (participants stop claiming independently); as with Do, the caller cannot
 // assume which of the remaining tasks ran.
 func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
+	return s.DoNAs(ctx, "", n, fn)
+}
+
+// DoNAs is DoN with the batch charged to the named tenant's fair-share
+// queue. The sampling backends thread the job's tenant through here so fleet
+// capacity divides by Quota.Weight instead of submission order.
+func (s *Scheduler) DoNAs(ctx context.Context, tenant string, n int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
 	if !obs.Enabled() {
-		return s.doN(ctx, n, fn)
+		return s.doN(ctx, tenant, n, fn)
 	}
 	serial := s.workers == 1 || n == 1
 	if serial {
@@ -301,7 +358,7 @@ func (s *Scheduler) DoN(ctx context.Context, n int, fn func(i int)) error {
 	}
 	mInflight.Inc()
 	start := time.Now() //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
-	err := s.doN(ctx, n, fn)
+	err := s.doN(ctx, tenant, n, fn)
 	mBatchSeconds.Observe(time.Since(start).Seconds()) //optlint:nondeterministic-ok batch-latency metric, never reaches a sample
 	mBatches.Inc()
 	mTasks.Add(int64(n))
@@ -353,40 +410,38 @@ func (s *Scheduler) doNSerial(ctx context.Context, n int, fn func(i int)) error 
 	return nil
 }
 
-// doN is the uninstrumented batch body behind DoN.
-func (s *Scheduler) doN(ctx context.Context, n int, fn func(i int)) error {
+// doN is the uninstrumented batch body behind DoN/DoNAs. Up to Workers
+// participant bodies are enqueued on the tenant's queue; each one claims
+// indices off the shared cursor, so the queue cost is O(workers) per batch
+// regardless of n.
+func (s *Scheduler) doN(ctx context.Context, tenant string, n int, fn func(i int)) error {
 	if s.workers == 1 || n == 1 {
 		return s.doNSerial(ctx, n, fn)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	s.start()
-	b := &nbatch{fn: fn, n: int64(n), ctx: ctx, done: make(chan struct{})}
+	b := &nbatch{fn: fn, n: int64(n), ctx: ctx}
 	participants := s.workers
 	if n < participants {
 		participants = n
 	}
 	run := b.run
-	var err error
-dispatch:
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	q := s.queueForLocked(tenant)
 	for i := 0; i < participants; i++ {
 		b.wg.Add(1)
-		select {
-		case s.queue <- run:
-		case <-b.done:
-			// Every index is already claimed; further participants would
-			// find nothing to do.
-			b.wg.Done()
-			break dispatch
-		case <-ctx.Done():
-			b.wg.Done()
-			err = ctx.Err()
-			break dispatch
-		case <-s.quit:
-			b.wg.Done()
-			err = ErrClosed
-			break dispatch
-		}
+		s.enqueueLocked(q, run)
 	}
+	q.mDepth.Set(float64(q.n))
+	s.mu.Unlock()
+	s.cond.Broadcast()
 	b.wg.Wait()
 	b.box.mu.Lock()
 	val, set := b.box.val, b.box.set
@@ -394,12 +449,12 @@ dispatch:
 	if set {
 		panic(val)
 	}
-	if err == nil && b.next.Load() < b.n {
+	if b.next.Load() < b.n {
 		// Participants bailed on a canceled context before claiming every
 		// index.
-		err = ctx.Err()
+		return ctx.Err()
 	}
-	return err
+	return nil
 }
 
 // StreamSeed derives the RNG seed of stream number stream from a base seed

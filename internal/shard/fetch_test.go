@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFetchShardFailoverRetry pins the mid-merge failover window: a shard
+// that was serving when the merge snapshotted its targets but died (and was
+// adopted) before its page was fetched must be retried once through the
+// failover chain — and must NOT be double-counted when its adopter is
+// already part of the same merge.
+func TestFetchShardFailoverRetry(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+
+	r, err := New(Config{
+		Shards: []Shard{
+			{Addr: dead.Listener.Addr().String()},
+			{Addr: alive.Listener.Addr().String()},
+		},
+		// Slow probe: this test drives the state machine by hand.
+		Probe:     time.Hour,
+		DeadAfter: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The merge snapshots its targets while both shards serve...
+	targets := r.serving()
+	if len(targets) != 2 {
+		t.Fatalf("serving() = %v, want both shards", targets)
+	}
+
+	// ...then shard 0 dies and is adopted by shard 1 before it is fetched
+	// (the probe loop would do exactly this on the next tick).
+	dead.Close()
+	r.mu.Lock()
+	r.state[0].dead = true
+	r.state[0].adopter = 1
+	r.mu.Unlock()
+
+	// The adopter is part of the same merge: retrying against it would
+	// double-count its page, so the fetch reports degraded instead.
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if r.fetchShard(targets, 0, "/", &out) {
+		t.Fatal("fetchShard retried into a shard already in the merge (double count)")
+	}
+
+	// A merge that does NOT already include the adopter (it snapshotted
+	// only the dead shard) must recover through the chain and succeed.
+	out.OK = false
+	if !r.fetchShard([]int{0}, 0, "/", &out) {
+		t.Fatal("fetchShard did not retry through the failover chain")
+	}
+	if !out.OK {
+		t.Fatal("retried fetch did not fill the payload")
+	}
+
+	// A dead shard with no adopter is simply degraded.
+	r.mu.Lock()
+	r.state[0].adopter = -1
+	r.mu.Unlock()
+	if r.fetchShard([]int{0}, 0, "/", &out) {
+		t.Fatal("fetchShard claimed success with the whole chain down")
+	}
+}

@@ -415,14 +415,42 @@ func (r *Router) byID(w http.ResponseWriter, req *http.Request) {
 	r.proxy(w, req, target, req.URL.RequestURI())
 }
 
-// list merges the job lists of every serving shard, sorted by ID.
+// fetchShard fetches path from shard i into out for a cross-shard merge,
+// chasing the failover chain once if the shard errors mid-merge: a shard
+// can die between serving() and the fetch, and the healthy shards' answers
+// must not be thrown away because of it. It reports whether out was filled.
+// When the failover chain lands on a shard already in targets (its adopter
+// is part of the same merge), the fetch is not repeated — the adopter's own
+// page covers (or will cover, once adoption lands) the dead shard's jobs.
+func (r *Router) fetchShard(targets []int, i int, path string, out any) bool {
+	if r.getJSON(i, path, out) == nil {
+		return true
+	}
+	j := r.resolve(i)
+	if j < 0 || j == i {
+		return false
+	}
+	for _, t := range targets {
+		if t == j {
+			return false
+		}
+	}
+	return r.getJSON(j, path, out) == nil
+}
+
+// list merges the job lists of every serving shard, sorted by ID. If a
+// shard dies mid-merge and its failover chain cannot answer either, the
+// healthy shards' merge is still returned, wrapped with a "degraded" field
+// naming the unreachable shards — partial answers beat a blanket 502.
 func (r *Router) list(w http.ResponseWriter, req *http.Request) {
 	var merged []jobs.Status
-	for _, i := range r.serving() {
+	var degraded []string
+	targets := r.serving()
+	for _, i := range targets {
 		var page []jobs.Status
-		if err := r.getJSON(i, req.URL.RequestURI(), &page); err != nil {
-			serve.WriteJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
-			return
+		if !r.fetchShard(targets, i, req.URL.RequestURI(), &page) {
+			degraded = append(degraded, r.cfg.Shards[i].Addr)
+			continue
 		}
 		merged = append(merged, page...)
 	}
@@ -430,20 +458,28 @@ func (r *Router) list(w http.ResponseWriter, req *http.Request) {
 	if merged == nil {
 		merged = []jobs.Status{}
 	}
+	if len(degraded) > 0 {
+		serve.WriteJSON(w, http.StatusOK, map[string]any{"jobs": merged, "degraded": degraded})
+		return
+	}
 	serve.WriteJSON(w, http.StatusOK, merged)
 }
 
 // tenants merges per-tenant accounting across shards: counters sum; the
 // quota shown is the first shard's (the fleet is deployed homogeneous).
+// Like list, a shard unreachable through its failover chain degrades the
+// merge (reported in "degraded") instead of failing it.
 func (r *Router) tenants(w http.ResponseWriter, req *http.Request) {
 	sum := map[string]*jobs.TenantStats{}
-	for _, i := range r.serving() {
+	var degraded []string
+	targets := r.serving()
+	for _, i := range targets {
 		var page struct {
 			Tenants []jobs.TenantStats `json:"tenants"`
 		}
-		if err := r.getJSON(i, "/v1/tenants", &page); err != nil {
-			serve.WriteJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
-			return
+		if !r.fetchShard(targets, i, "/v1/tenants", &page) {
+			degraded = append(degraded, r.cfg.Shards[i].Addr)
+			continue
 		}
 		for _, ts := range page.Tenants {
 			acc, ok := sum[ts.Tenant]
@@ -466,6 +502,10 @@ func (r *Router) tenants(w http.ResponseWriter, req *http.Request) {
 	out := make([]jobs.TenantStats, 0, len(names))
 	for _, name := range names {
 		out = append(out, *sum[name])
+	}
+	if len(degraded) > 0 {
+		serve.WriteJSON(w, http.StatusOK, map[string]any{"tenants": out, "degraded": degraded})
+		return
 	}
 	serve.WriteJSON(w, http.StatusOK, map[string]any{"tenants": out})
 }

@@ -365,3 +365,76 @@ func shardNewEmpty() error {
 	_, err := shard.New(shard.Config{})
 	return err
 }
+
+// TestRouterDegradedMerge is the regression test for all-or-nothing merges:
+// a shard dying between the router's health probe and the merge fetch must
+// not blow away the healthy shards' answers. The router retries through the
+// failover chain (none here — the shard just died), then returns the
+// partial merge wrapped with a "degraded" field instead of a 502.
+func TestRouterDegradedMerge(t *testing.T) {
+	s0 := newTestShard(t, jobs.Config{MaxConcurrent: 2}, nil)
+	s1 := newTestShard(t, jobs.Config{MaxConcurrent: 2}, nil)
+	r, err := shard.New(shard.Config{
+		Shards: []shard.Shard{{Addr: s0.addr()}, {Addr: s1.addr()}},
+		// The probe never fires again after startup: the kill below lands
+		// exactly in the probe-to-proxy window the bug lived in.
+		Probe:     time.Hour,
+		DeadAfter: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	rt := httptest.NewServer(r.Handler())
+	t.Cleanup(rt.Close)
+
+	// Two jobs per shard, submitted directly so the spread is fixed.
+	for i := 0; i < 2; i++ {
+		if code, body := postJSON(t, s0.ts.URL+"/v1/jobs", specBody("acme", int64(i+1))); code != http.StatusAccepted {
+			t.Fatalf("s0 submit: code %d body %v", code, body)
+		}
+		if code, body := postJSON(t, s1.ts.URL+"/v1/jobs", specBody("acme", int64(i+10))); code != http.StatusAccepted {
+			t.Fatalf("s1 submit: code %d body %v", code, body)
+		}
+	}
+
+	// Healthy baseline: a plain merged array, no degradation wrapper.
+	var whole []map[string]any
+	if code := getJSON(t, rt.URL+"/v1/jobs", &whole); code != http.StatusOK || len(whole) != 4 {
+		t.Fatalf("healthy merge: code %d len %d", code, len(whole))
+	}
+
+	// Kill shard 0 inside the probe window: the router still believes it
+	// is serving.
+	s0.ts.Close()
+
+	var partial struct {
+		Jobs     []map[string]any `json:"jobs"`
+		Degraded []string         `json:"degraded"`
+	}
+	if code := getJSON(t, rt.URL+"/v1/jobs", &partial); code != http.StatusOK {
+		t.Fatalf("degraded merge: code %d, want 200 with partial results", code)
+	}
+	if len(partial.Jobs) != 2 {
+		t.Fatalf("degraded merge returned %d jobs, want shard 1's 2", len(partial.Jobs))
+	}
+	if len(partial.Degraded) != 1 || partial.Degraded[0] != s0.addr() {
+		t.Fatalf("degraded field = %v, want [%s]", partial.Degraded, s0.addr())
+	}
+
+	// The tenants merge degrades the same way: shard 1's accounting
+	// survives, the dead shard is reported.
+	var tl struct {
+		Tenants  []jobs.TenantStats `json:"tenants"`
+		Degraded []string           `json:"degraded"`
+	}
+	if code := getJSON(t, rt.URL+"/v1/tenants", &tl); code != http.StatusOK {
+		t.Fatalf("degraded tenants: code %d", code)
+	}
+	if len(tl.Tenants) != 1 || tl.Tenants[0].Submitted != 2 {
+		t.Fatalf("degraded tenants merge: %+v", tl.Tenants)
+	}
+	if len(tl.Degraded) != 1 || tl.Degraded[0] != s0.addr() {
+		t.Fatalf("tenants degraded field = %v, want [%s]", tl.Degraded, s0.addr())
+	}
+}

@@ -60,7 +60,7 @@ func (s *LocalSpace) SampleBatchRanked(ctx context.Context, points []Point, dt f
 	if s.cfg.Fleet != nil {
 		return s.sampleFleet(ctx, lps, dt, rank)
 	}
-	b := s.pool.NewBatch()
+	b := s.pool.NewBatchAs(s.cfg.Tenant)
 	for i, lp := range lps {
 		lp := lp
 		b.Submit(rank(i), func() { lp.sample(dt) })

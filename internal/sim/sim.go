@@ -175,6 +175,12 @@ type LocalConfig struct {
 	// the jobs manager multiplexes every concurrent optimization over a
 	// single worker fleet this way. The space never closes a shared Pool.
 	Pool *sched.Scheduler
+	// Tenant labels this space's batch submissions on the Pool, so a shared
+	// scheduler can divide fleet capacity by tenant weight (weighted
+	// fair-share, see sched.Policy). Empty means the scheduler's default
+	// ("") queue. Tenancy only affects who waits, never what is sampled:
+	// results stay bitwise identical for any Tenant labeling.
+	Tenant string
 	// Fleet, if non-nil, farms every batch's sampling increments out to a
 	// remote worker fleet (internal/dist) instead of the in-process pool.
 	// FleetObjective must name, in the workers' catalogs, the same function
@@ -307,7 +313,7 @@ func (s *LocalSpace) SampleBatch(ctx context.Context, points []Point, dt float64
 	// no []*localPoint staging slice, so a batch costs one closure plus the
 	// pool's fixed dispatch overhead regardless of size.
 	s.validateBatch(points)
-	if err := s.pool.DoN(ctx, len(points), func(i int) {
+	if err := s.pool.DoNAs(ctx, s.cfg.Tenant, len(points), func(i int) {
 		points[i].(*localPoint).sample(dt)
 	}); err != nil {
 		return err
